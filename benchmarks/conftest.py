@@ -1,0 +1,38 @@
+"""Shared benchmark machinery.
+
+Each benchmark regenerates one paper table/figure end-to-end (trace
+generation -> functional simulation -> timing model -> formatted
+report) and prints the report so `pytest benchmarks/ --benchmark-only`
+doubles as the reproduction harness.
+
+Benchmarks run with a reduced trace length (shorter than the experiments'
+default) to keep the whole suite in minutes; run the experiment modules
+directly (`python -m repro.experiments.<name>`) for full-length runs.
+"""
+
+import pytest
+
+from repro.experiments.common import Settings
+
+BENCH_ACCESSES = 40_000
+
+
+@pytest.fixture
+def bench_settings():
+    return Settings(num_accesses=BENCH_ACCESSES)
+
+
+@pytest.fixture
+def run_report(benchmark, capsys):
+    """Benchmark an experiment's run() once and print its report."""
+
+    def _run(func, *args, **kwargs):
+        report = benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(report)
+        return report
+
+    return _run

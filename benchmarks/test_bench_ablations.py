@@ -1,0 +1,39 @@
+"""Benchmark: run the ablation studies (replacement, GWS tables,
+region size, SWS hash count, ACCORD without SWS)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_replacement(run_report, bench_settings):
+    report = run_report(ablations.run, bench_settings, which=["replacement"])
+    assert "lru" in report
+
+
+def test_ablation_gws_tables(run_report, bench_settings):
+    report = run_report(ablations.run, bench_settings, which=["rit-rlt-size"])
+    assert "64" in report
+
+
+def test_ablation_region_size(run_report, bench_settings):
+    report = run_report(ablations.run, bench_settings, which=["region-size"])
+    assert "4096B" in report
+
+
+def test_ablation_sws_hashes(run_report, bench_settings):
+    report = run_report(ablations.run, bench_settings, which=["sws-hashes"])
+    assert "SWS(8,2)" in report
+
+
+def test_ablation_no_sws(run_report, bench_settings):
+    report = run_report(ablations.run, bench_settings, which=["higher-ways-no-sws"])
+    assert "8-way" in report
+
+
+def test_ablation_dueling_pip(run_report, bench_settings):
+    report = run_report(ablations.run, bench_settings, which=["dueling-pip"])
+    assert "dueling" in report
+
+
+def test_ablation_dcp_modes(run_report, bench_settings):
+    report = run_report(ablations.run, bench_settings, which=["dcp-modes"])
+    assert "probe accesses per writeback" in report

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 1 (associativity vs hit-rate/speedup)."""
+
+from repro.experiments import fig1_associativity
+
+
+def test_fig1_associativity(run_report, bench_settings):
+    report = run_report(fig1_associativity.run, bench_settings)
+    assert "8-way" in report

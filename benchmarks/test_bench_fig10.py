@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 10 (2-way design speedups)."""
+
+from repro.experiments import fig10_speedup_2way
+
+
+def test_fig10_speedup(run_report, bench_settings):
+    report = run_report(fig10_speedup_2way.run, bench_settings)
+    assert "Perfect WP" in report and "Gmean" in report

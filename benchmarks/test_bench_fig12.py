@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 12 (all 46 workloads)."""
+
+from repro.experiments import fig12_all_workloads
+
+
+def test_fig12_all_workloads(run_report, bench_settings):
+    report = run_report(fig12_all_workloads.run, bench_settings)
+    assert "46 workloads" in report
+    assert "worst-case" in report

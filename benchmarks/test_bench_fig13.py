@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 13 (SWS speedups)."""
+
+from repro.experiments import fig13_sws_speedup
+
+
+def test_fig13_sws_speedup(run_report, bench_settings):
+    report = run_report(fig13_sws_speedup.run, bench_settings)
+    assert "ACCORD SWS(8,2)" in report

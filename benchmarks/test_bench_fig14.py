@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 14 (predictor speedups)."""
+
+from repro.experiments import fig14_predictor_speedup
+
+
+def test_fig14_predictor_speedup(run_report, bench_settings):
+    report = run_report(fig14_predictor_speedup.run, bench_settings)
+    assert "Partial-Tag (32MB)" in report

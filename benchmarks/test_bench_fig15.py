@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 15 (energy / power / EDP)."""
+
+from repro.experiments import fig15_energy
+
+
+def test_fig15_energy(run_report, bench_settings):
+    report = run_report(fig15_energy.run, bench_settings)
+    assert "EDP" in report

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 6 (cyclic kernel vs PIP)."""
+
+from repro.experiments import fig6_cyclic
+
+
+def test_fig6_cyclic(run_report):
+    report = run_report(fig6_cyclic.run, trials=16)
+    assert "PIP=90%" in report

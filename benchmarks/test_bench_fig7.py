@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 7 (way-prediction accuracy)."""
+
+from repro.experiments import fig7_accuracy
+
+
+def test_fig7_accuracy(run_report, bench_settings):
+    report = run_report(fig7_accuracy.run, bench_settings)
+    assert "PWS+GWS" in report

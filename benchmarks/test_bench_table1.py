@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table I (lookup cost model)."""
+
+from repro.experiments import table1_lookup_cost
+
+
+def test_table1_lookup_cost(run_report):
+    report = run_report(table1_lookup_cost.run, ways=4)
+    assert "Serial Lookup (4-way)" in report

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table X (way-predictor comparison)."""
+
+from repro.experiments import table10_predictors
+
+
+def test_table10_predictors(run_report, bench_settings):
+    report = run_report(table10_predictors.run, bench_settings)
+    assert "CA-Cache" in report and "ACCORD" in report

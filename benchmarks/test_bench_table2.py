@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table II (predictor accuracy and storage)."""
+
+from repro.experiments import table2_predictor_storage
+
+
+def test_table2_predictors(run_report, bench_settings):
+    report = run_report(table2_predictor_storage.run, bench_settings)
+    assert "32MB" in report

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table IV (workload characteristics)."""
+
+from repro.experiments import table4_workloads
+
+
+def test_table4_workloads(run_report, bench_settings):
+    report = run_report(table4_workloads.run, bench_settings)
+    assert "soplex" in report and "nekbone" in report

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table V (PWS sensitivity to PIP)."""
+
+from repro.experiments import table5_pip
+
+
+def test_table5_pip(run_report, bench_settings):
+    report = run_report(table5_pip.run, bench_settings)
+    assert "PIP=85%" in report

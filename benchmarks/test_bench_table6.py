@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table VI (hit-rate under way steering)."""
+
+from repro.experiments import table6_hitrate
+
+
+def test_table6_hitrate(run_report, bench_settings):
+    report = run_report(table6_hitrate.run, bench_settings)
+    assert "Direct-mapped" in report

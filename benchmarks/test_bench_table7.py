@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table VII (SWS hit-rates)."""
+
+from repro.experiments import table7_sws_hitrate
+
+
+def test_table7_sws(run_report, bench_settings):
+    report = run_report(table7_sws_hitrate.run, bench_settings)
+    assert "SWS (8,2-way)" in report

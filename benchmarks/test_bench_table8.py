@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table VIII (cache-size sensitivity)."""
+
+from repro.experiments import table8_cache_size
+
+
+def test_table8_cache_size(run_report, bench_settings):
+    report = run_report(table8_cache_size.run, bench_settings)
+    assert "1.0GB" in report and "8.0GB" in report

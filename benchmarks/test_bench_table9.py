@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table IX (ACCORD storage)."""
+
+from repro.experiments import table9_storage
+
+
+def test_table9_storage(run_report):
+    report = run_report(table9_storage.run)
+    assert "320 Bytes" in report

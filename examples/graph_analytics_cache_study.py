@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Case study: DRAM-cache design for graph analytics (GAP suite).
+
+The paper's motivation: NVM-backed systems running irregular,
+large-footprint workloads need DRAM-cache hit-rate, but graph kernels
+have poor spatial locality, which breaks region-based predictors. This
+study runs the six GAP workloads (pagerank / connected-components /
+betweenness-centrality on twitter and web graphs) across four designs
+and shows where each mechanism helps or fails:
+
+* GWS alone mispredicts heavily (sparse regions -> RLT misses),
+* PWS alone holds a steady ~PIP accuracy,
+* combined ACCORD recovers robustness,
+* SWS(8,2) adds associativity without miss-confirmation blowup.
+
+Usage:
+    python examples/graph_analytics_cache_study.py [--accesses N]
+"""
+
+import argparse
+
+from repro import AccordDesign, TraceFactory, scaled_system
+from repro.sim.runner import run_suite, speedups_vs_baseline
+from repro.utils.tables import format_table
+
+GAP_WORKLOADS = ["pr_twi", "cc_twi", "bc_twi", "pr_web", "cc_web", "bc_web"]
+
+DESIGNS = {
+    "GWS only": AccordDesign(kind="gws", ways=2),
+    "PWS only": AccordDesign(kind="pws", ways=2),
+    "ACCORD 2-way": AccordDesign(kind="accord", ways=2),
+    "ACCORD SWS(8,2)": AccordDesign(kind="sws", ways=8, hashes=2),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=150_000)
+    args = parser.parse_args()
+
+    base_config = scaled_system(ways=1)
+    traces = TraceFactory(base_config, num_accesses=args.accesses, seed=21)
+    baseline = run_suite(
+        AccordDesign(kind="direct", ways=1), GAP_WORKLOADS,
+        config=base_config, traces=traces, num_accesses=args.accesses,
+    )
+
+    rows = []
+    for label, design in DESIGNS.items():
+        results = run_suite(
+            design, GAP_WORKLOADS,
+            config=scaled_system(ways=design.ways),
+            traces=traces, num_accesses=args.accesses,
+        )
+        speedups = speedups_vs_baseline(results, baseline)
+        for workload in GAP_WORKLOADS:
+            result = results[workload]
+            rows.append([
+                label,
+                workload,
+                f"{result.hit_rate:.1%}",
+                f"{result.prediction_accuracy:.1%}",
+                f"{speedups[workload]:.3f}",
+            ])
+        rows.append(["-"] * 5)
+    rows.pop()
+
+    print(format_table(
+        ["design", "workload", "hit rate", "WP accuracy", "speedup vs DM"],
+        rows,
+        title="DRAM-cache design study on GAP graph analytics",
+    ))
+    print("\nReading: GWS's RLT misses on sparse graph regions drop its")
+    print("accuracy toward random; PWS's stateless bias keeps ~85%; the")
+    print("combination is the paper's robustness argument (Section IV-C).")
+
+
+if __name__ == "__main__":
+    main()

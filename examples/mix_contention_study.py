@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Shared-cache contention study with the true multi-core simulator.
+
+The paper evaluates mixes in rate mode analytically; this example uses
+:class:`repro.sim.multicore.MultiCoreSimulator` to interleave four
+*different* benchmarks through one shared DRAM cache, showing:
+
+* per-core hit-rate and way-prediction accuracy under contention,
+* the weighted speedup of ACCORD SWS(8,2) over the direct-mapped
+  baseline when cores with very different locality share the cache.
+
+Usage:
+    python examples/mix_contention_study.py [--accesses N]
+"""
+
+import argparse
+
+from repro.core.accord import AccordDesign
+from repro.params.system import scaled_system
+from repro.sim.multicore import MultiCoreSimulator
+from repro.utils.tables import format_table
+from repro.workloads.spec import get_workload
+from repro.workloads.synthetic import SyntheticWorkload
+
+MEMBERS = ["soplex", "libq", "mcf", "sphinx"]
+SCALE = 1.0 / 128.0
+
+
+def build_traces(accesses, capacity):
+    traces = []
+    for index, name in enumerate(MEMBERS):
+        spec = get_workload(name).scaled(SCALE)
+        generator = SyntheticWorkload(
+            spec, capacity, seed=17, addr_base=index * (1 << 16) * capacity
+        )
+        traces.append(generator.generate(accesses))
+    return traces
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=60_000,
+                        help="accesses per core")
+    args = parser.parse_args()
+
+    config2 = scaled_system(ways=2, scale=SCALE)
+    config8 = scaled_system(ways=8, scale=SCALE)
+    config1 = scaled_system(ways=1, scale=SCALE)
+    traces = build_traces(args.accesses, config1.dram_cache.capacity_bytes)
+
+    baseline = MultiCoreSimulator(
+        config1, AccordDesign(kind="direct", ways=1), seed=17
+    ).run(traces, warmup_fraction=0.4)
+    accord = MultiCoreSimulator(
+        config2, AccordDesign(kind="accord", ways=2), seed=17
+    ).run(traces, warmup_fraction=0.4)
+    sws = MultiCoreSimulator(
+        config8, AccordDesign(kind="sws", ways=8, hashes=2), seed=17
+    ).run(traces, warmup_fraction=0.4)
+
+    rows = []
+    for core, name in enumerate(MEMBERS):
+        rows.append([
+            name,
+            f"{baseline.per_core_stats[core].hit_rate:.1%}",
+            f"{accord.per_core_stats[core].hit_rate:.1%}",
+            f"{accord.per_core_stats[core].prediction_accuracy:.1%}",
+            f"{sws.per_core_stats[core].hit_rate:.1%}",
+        ])
+    print(format_table(
+        ["core workload", "DM hit", "ACCORD-2 hit", "ACCORD-2 WP acc",
+         "SWS(8,2) hit"],
+        rows,
+        title=f"Per-core behaviour, 4 cores sharing one "
+              f"{config1.dram_cache.capacity_bytes // 2**20}MB cache",
+    ))
+    print(f"\nweighted speedup  ACCORD 2-way: "
+          f"{accord.weighted_speedup_over(baseline):.3f}")
+    print(f"weighted speedup  ACCORD SWS(8,2): "
+          f"{sws.weighted_speedup_over(baseline):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Way-predictor bake-off: accuracy vs SRAM cost (Tables II and X).
+
+Compares every predictor in the library — random, MRU, partial-tag,
+CA-cache's implicit hash-rehash prediction, PWS, GWS, full ACCORD and
+the perfect oracle — on a mixed mini-suite, and prints accuracy next to
+what each would cost in SRAM at the paper's 4GB scale. The punchline is
+the paper's: ACCORD's 320 bytes lands within a few points of the 32MB
+partial-tag design.
+
+Usage:
+    python examples/predictor_comparison.py
+"""
+
+from repro import AccordDesign, CacheGeometry, TraceFactory, scaled_system
+from repro.analysis.storage import predictor_storage_bytes
+from repro.sim.runner import mean_prediction_accuracy, run_suite
+from repro.utils.tables import format_table
+
+SUITE = ["libq", "soplex", "mcf", "omnet"]
+PAPER_GEOMETRY = CacheGeometry(4 * 1024 * 1024 * 1024, 2)
+
+PREDICTORS = [
+    ("Random", AccordDesign(kind="unbiased", ways=2), "rand"),
+    ("CA-cache", AccordDesign(kind="ca", ways=1), "ca"),
+    ("MRU", AccordDesign(kind="mru", ways=2), "mru"),
+    ("Partial-tag (4b)", AccordDesign(kind="partial_tag", ways=2), "partial_tag"),
+    ("PWS (stateless)", AccordDesign(kind="pws", ways=2), "pws"),
+    ("GWS (RIT+RLT)", AccordDesign(kind="gws", ways=2), "gws"),
+    ("ACCORD (PWS+GWS)", AccordDesign(kind="accord", ways=2), "accord"),
+    ("Perfect (oracle)", AccordDesign(kind="perfect", ways=2), "rand"),
+]
+
+
+def pretty_bytes(n: int) -> str:
+    if n == 0:
+        return "0"
+    if n >= 1024 * 1024:
+        return f"{n // (1024 * 1024)}MB"
+    if n >= 1024:
+        return f"{n // 1024}KB"
+    return f"{n}B"
+
+
+def main() -> None:
+    accesses = 120_000
+    base_config = scaled_system(ways=1)
+    traces = TraceFactory(base_config, num_accesses=accesses, seed=13)
+
+    rows = []
+    for label, design, storage_key in PREDICTORS:
+        results = run_suite(
+            design, SUITE,
+            config=scaled_system(ways=design.ways),
+            traces=traces, num_accesses=accesses,
+        )
+        accuracy = mean_prediction_accuracy(results)
+        storage = predictor_storage_bytes(storage_key, PAPER_GEOMETRY)
+        rows.append([label, f"{accuracy:.1%}", pretty_bytes(storage)])
+
+    print(format_table(
+        ["predictor", "accuracy (2-way)", "SRAM @ 4GB cache"],
+        rows,
+        title=f"Way-predictor comparison over {SUITE}",
+    ))
+    print("\nPaper reference (Table X): CA 85.2%, MRU 85.7%, partial-tag")
+    print("97.3%, ACCORD 90.4% — at 0B / 4MB / 32MB / 320B respectively.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: build an ACCORD DRAM cache and measure it on one workload.
+
+Runs the paper's headline configuration — a 2-way ACCORD (PWS+GWS)
+cache — against the libquantum-like workload, next to the direct-mapped
+baseline, and prints hit-rate, way-prediction accuracy, estimated
+speedup and the SRAM overhead that makes ACCORD practical.
+
+Usage:
+    python examples/quickstart.py
+"""
+
+import argparse
+
+from repro import AccordDesign, TraceFactory, scaled_system
+from repro.sim.runner import run_design
+
+WORKLOAD = "libq"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=150_000)
+    args = parser.parse_args()
+    ACCESSES = args.accesses
+    # One system config per associativity; traces depend only on the
+    # cache capacity, so both designs replay the identical trace.
+    base_config = scaled_system(ways=1)
+    traces = TraceFactory(base_config, num_accesses=ACCESSES, seed=7)
+
+    baseline = run_design(
+        AccordDesign(kind="direct", ways=1),
+        WORKLOAD,
+        config=base_config,
+        traces=traces,
+    )
+    accord = run_design(
+        AccordDesign(kind="accord", ways=2),
+        WORKLOAD,
+        config=scaled_system(ways=2),
+        traces=traces,
+    )
+
+    print(f"workload: {WORKLOAD} ({ACCESSES} L3-miss-level accesses)")
+    print(f"cache: {base_config.dram_cache.capacity_bytes // 2**20}MB "
+          f"(paper 4GB scaled by {base_config.scale:.5f})")
+    print()
+    print(f"{'':24s}{'direct-mapped':>16s}{'ACCORD 2-way':>16s}")
+    print(f"{'hit rate':24s}{baseline.hit_rate:>15.1%}{accord.hit_rate:>15.1%}")
+    print(f"{'way-pred accuracy':24s}{'n/a':>16s}{accord.prediction_accuracy:>15.1%}")
+    print(f"{'runtime (ms/core)':24s}"
+          f"{baseline.runtime_ns / 1e6:>15.2f}{accord.runtime_ns / 1e6:>15.2f}")
+    print(f"{'speedup':24s}{'1.000':>16s}"
+          f"{accord.speedup_over(baseline):>15.3f}")
+
+    # ACCORD's entire SRAM budget (Table IX): the GWS region tables.
+    from repro.sim.system import build_dram_cache
+
+    cache = build_dram_cache(AccordDesign(kind="accord", ways=2),
+                             scaled_system(ways=2))
+    print(f"\nACCORD SRAM overhead: {cache.storage_overhead_bits() // 8} bytes")
+
+
+if __name__ == "__main__":
+    main()

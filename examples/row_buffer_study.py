@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Row-buffer micro-study on the cycle-level engines.
+
+The paper's Figure 2(b) places all ways of one set in the same row
+buffer so that checking a second way after a mispredict is a row-buffer
+hit rather than a full activation. This study measures, on the
+scheduler-driven detailed engine:
+
+1. the latency gap between row-hit and row-miss access patterns,
+2. how FR-FCFS latency grows as one channel's offered load rises —
+   the congestion behaviour the interval timing model's queueing term
+   approximates.
+
+Usage:
+    python examples/row_buffer_study.py
+"""
+
+from repro.params.system import scaled_system
+from repro.sim.scheduled import ScheduledEngine
+from repro.utils.charts import bar_chart, sparkline
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    config = scaled_system(ways=1, scale=1.0 / 1024.0)
+
+    # -- 1. Row-hit vs row-miss latency -----------------------------------
+    hot = ScheduledEngine(config)
+    hot_result = hot.replay_sets([0] * 400, arrival_interval_ns=80.0)
+    cold = ScheduledEngine(config)
+    # Stride across rows of a single bank: every access precharges.
+    row_stride = 32 * 8 * 16  # sets per row x channels x banks
+    cold_result = cold.replay_sets(
+        [(i * row_stride) % (1 << 18) for i in range(400)],
+        arrival_interval_ns=80.0,
+    )
+    print(format_table(
+        ["pattern", "row-hit rate", "avg latency (ns)"],
+        [
+            ["same row (ways share a row buffer)",
+             f"{hot_result.row_hit_rate:.2f}",
+             f"{hot_result.avg_latency_ns:.1f}"],
+            ["row-thrashing stride",
+             f"{cold_result.row_hit_rate:.2f}",
+             f"{cold_result.avg_latency_ns:.1f}"],
+        ],
+        title="1. Why SWS keeps the skew inside one row buffer",
+    ))
+
+    # -- 2. Latency vs offered load on one channel -------------------------
+    sets = [(i % 16) * 32 * 8 for i in range(1000)]  # all on channel 0
+    latencies = {}
+    for interval in (20.0, 10.0, 6.0, 4.0, 3.0, 2.0):
+        engine = ScheduledEngine(config)
+        result = engine.replay_sets(list(sets), arrival_interval_ns=interval)
+        load = 72.0 / interval  # offered bytes/ns on the channel
+        latencies[f"{load:5.1f} B/ns"] = result.avg_latency_ns
+
+    print()
+    print(bar_chart(latencies, title="2. FR-FCFS latency vs offered load "
+                                     "(one channel)", fmt="{:.1f}ns"))
+    print(f"\ntrend: {sparkline(list(latencies.values()))}")
+    print("The super-linear tail is the congestion the interval model's")
+    print("M/M/1 queueing term reproduces for the full-suite sweeps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: this environment lacks the `wheel` package, so editable
+installs go through `setup.py develop` instead of PEP 517."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""ACCORD: Enabling Associativity for Gigascale DRAM Caches by
+Coordinating Way-Install and Way-Prediction (ISCA 2018) — reproduction.
+
+Quick start::
+
+    from repro import AccordDesign, run_design
+
+    accord = AccordDesign(kind="accord", ways=2)
+    result = run_design(accord, "libq")
+    print(result.hit_rate, result.prediction_accuracy)
+
+Public surface:
+
+* :mod:`repro.core` — PWS / GWS / SWS policies and the ACCORD factory
+* :mod:`repro.cache` — the DRAM cache and baselines (CA-cache, SRAM)
+* :mod:`repro.sim` — simulator, timing models, traces
+* :mod:`repro.workloads` — workload catalog and generators
+* :mod:`repro.analysis` — analytic models, storage and energy accounting
+* :mod:`repro.experiments` — one module per paper table/figure
+"""
+
+from repro.core.accord import AccordDesign, make_accord, make_design
+from repro.cache.geometry import CacheGeometry
+from repro.params.system import SystemConfig, paper_system, scaled_system
+from repro.sim.system import RunResult, Simulator, build_dram_cache
+from repro.sim.runner import (
+    TraceFactory,
+    geometric_mean,
+    run_design,
+    run_suite,
+)
+from repro.workloads.spec import extended_suite, get_workload, main_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccordDesign",
+    "make_accord",
+    "make_design",
+    "CacheGeometry",
+    "SystemConfig",
+    "paper_system",
+    "scaled_system",
+    "RunResult",
+    "Simulator",
+    "build_dram_cache",
+    "TraceFactory",
+    "run_design",
+    "run_suite",
+    "geometric_mean",
+    "main_suite",
+    "extended_suite",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,114 @@
+"""Command-line entry point: list and run paper experiments.
+
+Usage::
+
+    python -m repro list                  # what can be reproduced
+    python -m repro run fig10_speedup_2way [--accesses N] [--quick]
+    python -m repro run all [--quick]     # every experiment, in order
+    python -m repro info                  # system configuration summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENT_MODULES
+
+_DESCRIPTIONS = {
+    "fig1_associativity": "Fig 1: hit-rate & speedup vs associativity",
+    "table1_lookup_cost": "Table I: lookup cost model",
+    "table2_predictor_storage": "Table II: predictor accuracy & storage",
+    "table4_workloads": "Table IV: workload characteristics",
+    "fig6_cyclic": "Fig 6: cyclic kernel vs PIP",
+    "table5_pip": "Table V: PWS sensitivity to PIP",
+    "fig7_accuracy": "Fig 7: way-prediction accuracy",
+    "table6_hitrate": "Table VI: hit-rate under way steering",
+    "fig10_speedup_2way": "Fig 10: 2-way design speedups",
+    "table7_sws_hitrate": "Table VII: SWS hit-rates",
+    "fig13_sws_speedup": "Fig 13: SWS speedups",
+    "fig12_all_workloads": "Fig 12: all 46 workloads",
+    "table8_cache_size": "Table VIII: cache-size sensitivity",
+    "table9_storage": "Table IX: ACCORD storage",
+    "table10_predictors": "Table X: way-predictor comparison",
+    "fig14_predictor_speedup": "Fig 14: predictor speedups",
+    "fig15_energy": "Fig 15: energy / power / EDP",
+    "ablations": "Ablations: replacement, GWS tables, SWS hashes, ...",
+}
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENT_MODULES)
+    print("Available experiments (python -m repro run <name>):\n")
+    for name in EXPERIMENT_MODULES:
+        print(f"  {name.ljust(width)}  {_DESCRIPTIONS.get(name, '')}")
+    return 0
+
+
+def _cmd_info() -> int:
+    from repro.params.system import paper_system, scaled_system
+
+    paper = paper_system()
+    scaled = scaled_system()
+    print("Paper system (Table III):")
+    print(f"  cores            {paper.cores.num_cores} x "
+          f"{paper.cores.frequency_ghz}GHz, {paper.cores.issue_width}-wide")
+    print(f"  DRAM cache       {paper.dram_cache.capacity_bytes // 2**30}GB, "
+          f"{paper.dram_bus.aggregate_bandwidth_gbps:.0f} GB/s")
+    print(f"  NVM              {paper.nvm_capacity_bytes // 2**30}GB, "
+          f"{paper.nvm_bus.aggregate_bandwidth_gbps:.0f} GB/s, "
+          f"read {paper.nvm_timing.read_ns:.0f}ns / "
+          f"write {paper.nvm_timing.write_ns:.0f}ns")
+    print("Default experiment scale:")
+    print(f"  scale            {scaled.scale:.6f} "
+          f"(cache {scaled.dram_cache.capacity_bytes // 2**20}MB)")
+    return 0
+
+
+def _cmd_run(names: List[str], passthrough: List[str]) -> int:
+    targets = EXPERIMENT_MODULES if names == ["all"] else names
+    unknown = [n for n in targets if n not in EXPERIMENT_MODULES]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print("use 'python -m repro list' to see what is available",
+              file=sys.stderr)
+        return 2
+    for name in targets:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        print(f"==> {name}")
+        module.main(passthrough)
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ACCORD (ISCA 2018) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("info", help="show system configuration")
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("names", nargs="+",
+                            help="experiment names, or 'all'")
+    run_parser.add_argument("--accesses", type=int, default=None)
+    run_parser.add_argument("--quick", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "info":
+        return _cmd_info()
+    passthrough: List[str] = []
+    if args.accesses is not None:
+        passthrough += ["--accesses", str(args.accesses)]
+    if args.quick:
+        passthrough += ["--quick"]
+    return _cmd_run(args.names, passthrough)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

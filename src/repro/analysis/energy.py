@@ -1,0 +1,92 @@
+"""Off-chip memory-system energy model (Figure 15).
+
+Event energies follow the usual stacked-DRAM / PCM modelling the paper
+cites ([6], [36], [37]): stacked-DRAM access energy is charged per 72B
+transfer plus a per-activation cost; NVM reads cost a few times a DRAM
+access and NVM writes an order of magnitude more; both devices burn
+static power for the whole runtime. Absolute joules are model
+constants — Figure 15 is a *relative* comparison, which is what the
+reproduction asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.stats import CacheStats
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies (nanojoules) and static power (watts)."""
+
+    dram_transfer_nj: float = 2.4  # one 72B tag+data unit on the HBM bus
+    dram_activate_nj: float = 1.2  # row activation (first probe of a read)
+    nvm_read_nj: float = 6.0  # one 64B line read from PCM
+    nvm_write_nj: float = 24.0  # one 64B line written to PCM
+    dram_static_w: float = 1.8
+    nvm_static_w: float = 2.5
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy outcome of one run."""
+
+    dynamic_dram_nj: float
+    dynamic_nvm_nj: float
+    static_nj: float
+    runtime_ns: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_dram_nj + self.dynamic_nvm_nj + self.static_nj
+
+    @property
+    def power_w(self) -> float:
+        """Average power in watts (nJ / ns == W)."""
+        return self.total_nj / self.runtime_ns
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (nJ * ns)."""
+        return self.total_nj * self.runtime_ns
+
+    def relative_to(self, baseline: "EnergyReport") -> dict:
+        """Normalized power/energy/EDP, as Figure 15 plots them."""
+        return {
+            "power": self.power_w / baseline.power_w,
+            "energy": self.total_nj / baseline.total_nj,
+            "edp": self.edp / baseline.edp,
+            "speedup": baseline.runtime_ns / self.runtime_ns,
+        }
+
+
+class EnergyModel:
+    """Turns cache counters + runtime into an :class:`EnergyReport`."""
+
+    def __init__(self, params: EnergyParams = EnergyParams(), num_cores: int = 16):
+        if num_cores <= 0:
+            raise SimulationError("need at least one core")
+        self.params = params
+        self.num_cores = num_cores
+
+    def evaluate(self, stats: CacheStats, runtime_ns: float) -> EnergyReport:
+        if runtime_ns <= 0:
+            raise SimulationError("runtime must be positive")
+        p = self.params
+        cores = self.num_cores
+        dram = cores * (
+            stats.total_cache_transfers * p.dram_transfer_nj
+            + stats.first_probes * p.dram_activate_nj
+        )
+        nvm = cores * (
+            stats.nvm_reads * p.nvm_read_nj + stats.nvm_writes * p.nvm_write_nj
+        )
+        static = (p.dram_static_w + p.nvm_static_w) * runtime_ns
+        return EnergyReport(
+            dynamic_dram_nj=dram,
+            dynamic_nvm_nj=nvm,
+            static_nj=static,
+            runtime_ns=runtime_ns,
+        )

@@ -1,0 +1,103 @@
+"""CSV export of experiment data.
+
+Each per-workload experiment produces series keyed by workload; this
+module writes them in a tidy (long) CSV layout —
+``workload,series,value`` — that any plotting tool ingests directly, so
+the paper's bar charts can be regenerated outside this repo.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Optional
+
+from repro.analysis.report import FIGURE_WORKLOAD_ORDER
+from repro.errors import SimulationError
+
+
+def series_to_csv(
+    columns: Dict[str, Dict[str, float]],
+    value_name: str = "value",
+) -> str:
+    """Render {series -> {workload -> value}} as tidy CSV text."""
+    if not columns:
+        raise SimulationError("no series to export")
+    workloads = []
+    seen = set()
+    for per_wl in columns.values():
+        for workload in per_wl:
+            if workload not in seen:
+                seen.add(workload)
+                workloads.append(workload)
+    ordered = [w for w in FIGURE_WORKLOAD_ORDER if w in seen]
+    ordered.extend(w for w in workloads if w not in FIGURE_WORKLOAD_ORDER)
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["workload", "series", value_name])
+    for workload in ordered:
+        for series, per_wl in columns.items():
+            if workload in per_wl:
+                writer.writerow([workload, series, repr(per_wl[workload])])
+    return buffer.getvalue()
+
+
+def save_series_csv(
+    columns: Dict[str, Dict[str, float]],
+    path: str,
+    value_name: str = "value",
+) -> None:
+    """Write :func:`series_to_csv` output to a file."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(series_to_csv(columns, value_name))
+
+
+def load_series_csv(path: str) -> Dict[str, Dict[str, float]]:
+    """Inverse of :func:`save_series_csv`."""
+    columns: Dict[str, Dict[str, float]] = {}
+    with open(path, "r", encoding="ascii") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header or header[0] != "workload" or header[1] != "series":
+            raise SimulationError(f"{path}: not a repro series CSV")
+        for row in reader:
+            if len(row) != 3:
+                raise SimulationError(f"{path}: malformed row {row!r}")
+            workload, series, value = row
+            columns.setdefault(series, {})[workload] = float(value)
+    return columns
+
+
+def runs_to_csv(
+    results: Dict[str, "RunResult"],  # noqa: F821 - documented duck type
+    metrics: Optional[Dict[str, str]] = None,
+) -> str:
+    """Export RunResults as CSV: one row per workload, one column per
+    metric. ``metrics`` maps column name -> RunResult attribute path
+    (supports ``stats.<field>`` and ``timing.<field>``)."""
+    if not results:
+        raise SimulationError("no results to export")
+    metrics = metrics or {
+        "hit_rate": "hit_rate",
+        "prediction_accuracy": "prediction_accuracy",
+        "runtime_ns": "runtime_ns",
+        "nvm_reads": "stats.nvm_reads",
+        "dram_utilization": "timing.dram_utilization",
+    }
+
+    def resolve(result, path: str):
+        value = result
+        for part in path.split("."):
+            value = getattr(value, part)
+        return value
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["workload"] + list(metrics))
+    for workload in sorted(results):
+        row = [workload]
+        for path in metrics.values():
+            row.append(repr(resolve(results[workload], path)))
+        writer.writerow(row)
+    return buffer.getvalue()

@@ -1,0 +1,59 @@
+"""SRAM storage accounting for way predictors (Tables II, IX, X).
+
+All storage is computed from geometry, so the same functions back both
+the paper-scale numbers (4GB cache: MRU 4MB, partial-tag 32MB, ACCORD
+320B) and the scaled experiment geometries.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.gws import DEFAULT_ENTRIES, REGION_TAG_BITS, VALID_BITS
+from repro.core.steering import ways_bits
+from repro.errors import PolicyError
+from repro.utils.bitops import ceil_div
+
+
+def mru_storage_bits(geometry: CacheGeometry) -> int:
+    """Per-set MRU way pointer."""
+    return geometry.num_sets * max(ways_bits(geometry.ways), 1)
+
+
+def partial_tag_storage_bits(geometry: CacheGeometry, bits: int = 4) -> int:
+    """Per-line partial tags."""
+    return geometry.num_lines * bits
+
+
+def gws_storage_bits(ways: int, entries: int = DEFAULT_ENTRIES) -> int:
+    """RIT + RLT: 2 tables x entries x (valid + region tag + way)."""
+    per_entry = VALID_BITS + REGION_TAG_BITS + max(ways_bits(ways), 1)
+    return 2 * entries * per_entry
+
+
+def predictor_storage_bytes(name: str, geometry: CacheGeometry) -> int:
+    """Storage in bytes for a named predictor on a given geometry."""
+    lowered = name.lower()
+    if lowered in ("rand", "random", "preferred", "pws", "sws", "ca", "ca_cache"):
+        return 0
+    if lowered == "mru":
+        return ceil_div(mru_storage_bits(geometry), 8)
+    if lowered in ("partial_tag", "partial-tag", "partial"):
+        return ceil_div(partial_tag_storage_bits(geometry), 8)
+    if lowered in ("gws", "accord"):
+        return ceil_div(gws_storage_bits(geometry.ways), 8)
+    raise PolicyError(f"unknown predictor {name!r}")
+
+
+def accord_storage_bytes(ways: int = 2, entries: int = DEFAULT_ENTRIES) -> int:
+    """Total ACCORD overhead (Table IX): PWS 0 + GWS tables + SWS 0."""
+    return ceil_div(gws_storage_bits(ways, entries), 8)
+
+
+def storage_table(geometry: CacheGeometry):
+    """Rows of (component, bytes) reproducing Table IX."""
+    return [
+        ("Probabilistic Way-Steering", 0),
+        ("Ganged Way-Steering", accord_storage_bytes(geometry.ways)),
+        ("Skewed Way-Steering", 0),
+        ("ACCORD", accord_storage_bytes(geometry.ways)),
+    ]

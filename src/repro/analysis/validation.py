@@ -1,0 +1,97 @@
+"""Cross-validation between the timing engines.
+
+The interval model drives every experiment; these utilities check its
+latency and queueing assumptions against the cycle-level engines on
+small traces, and are exercised by tests (`tests/test_validation.py`)
+so a regression in either engine's assumptions fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.accord import AccordDesign, make_design
+from repro.errors import SimulationError
+from repro.params.system import SystemConfig
+from repro.sim.detailed import DetailedEngine
+from repro.sim.scheduled import ScheduledEngine
+from repro.sim.timing_model import IntervalTimingModel
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Comparison of one quantity across engines."""
+
+    quantity: str
+    interval_value: float
+    detailed_value: float
+
+    @property
+    def ratio(self) -> float:
+        if self.detailed_value == 0:
+            raise SimulationError("detailed value is zero; ratio undefined")
+        return self.interval_value / self.detailed_value
+
+    def within(self, factor: float) -> bool:
+        """True if the two engines agree within a multiplicative factor."""
+        return 1.0 / factor <= self.ratio <= factor
+
+
+def validate_hit_latency(
+    config: SystemConfig, num_lines: int = 256
+) -> ValidationReport:
+    """Compare the unloaded hit latency of the two engines.
+
+    Fills a direct-mapped cache, then measures re-read latency in the
+    detailed engine at low load and compares it against the interval
+    model's hit-path components (first probe + transfer).
+    """
+    from repro.sim.trace import trace_from_arrays
+
+    geometry = CacheGeometry(config.dram_cache.capacity_bytes, 1)
+    cache = make_design(AccordDesign(kind="direct", ways=1), geometry)
+    engine = DetailedEngine(config, cache)
+    addrs = [i * 64 for i in range(num_lines)]
+    engine.replay(trace_from_arrays("fill", addrs, [0] * num_lines, 40.0))
+
+    measure_engine = DetailedEngine(config, cache)
+    result = measure_engine.replay(
+        trace_from_arrays("measure", addrs, [0] * num_lines, 40.0),
+        issue_interval_ns=500.0,
+    )
+
+    model = IntervalTimingModel(config)
+    interval_hit = model.first_probe_ns + model.dram_service_ns
+    return ValidationReport("hit_latency_ns", interval_hit, result.avg_read_latency_ns)
+
+
+def validate_queueing_growth(
+    config: SystemConfig, requests: int = 2000
+) -> List[ValidationReport]:
+    """Check that FR-FCFS latency grows with offered load the way the
+    interval model's utilization term predicts (directionally).
+
+    Returns reports at low/medium/high load; callers assert that the
+    detailed latencies are monotonically increasing and that the
+    interval queueing term is too.
+    """
+    model = IntervalTimingModel(config)
+    reports = []
+    sets = [((i * 37) % 4096) * 8 for i in range(requests)]
+    for label, interval_ns in (("low", 50.0), ("mid", 8.0), ("high", 2.5)):
+        engine = ScheduledEngine(config)
+        result = engine.replay_sets(list(sets), arrival_interval_ns=interval_ns)
+        offered = TRANSFER_BYTES_PER_REQ / interval_ns  # bytes per ns
+        rho = min(
+            offered / model.config.dram_bus.sustainable_bandwidth_gbps, 0.98
+        )
+        q_model = model.dram_service_ns * rho / (1.0 - rho)
+        reports.append(
+            ValidationReport(f"queue_{label}", q_model, result.avg_latency_ns)
+        )
+    return reports
+
+
+TRANSFER_BYTES_PER_REQ = 72

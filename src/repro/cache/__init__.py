@@ -1,0 +1,47 @@
+"""Cache substrate: geometry, tag storage, lookup flows, DRAM cache.
+
+The DRAM cache here is the paper's "practical" organization: 64B lines,
+tags co-located with data in unused ECC bits (72B streamed per line
+access), all ways of one set in the same row buffer.
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.storage import TagStore
+from repro.cache.replacement import (
+    LruReplacement,
+    NruReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+)
+from repro.cache.lookup import (
+    LookupKind,
+    LookupResult,
+    ParallelLookup,
+    SerialLookup,
+    WayPredictedLookup,
+)
+from repro.cache.dram_cache import AccessOutcome, DramCache
+from repro.cache.ca_cache import ColumnAssociativeCache
+from repro.cache.sram import SramCache
+from repro.cache.dcp import DcpDirectory
+from repro.cache.hierarchy import CacheHierarchy
+
+__all__ = [
+    "CacheGeometry",
+    "TagStore",
+    "ReplacementPolicy",
+    "RandomReplacement",
+    "LruReplacement",
+    "NruReplacement",
+    "LookupKind",
+    "LookupResult",
+    "ParallelLookup",
+    "SerialLookup",
+    "WayPredictedLookup",
+    "AccessOutcome",
+    "DramCache",
+    "ColumnAssociativeCache",
+    "SramCache",
+    "DcpDirectory",
+    "CacheHierarchy",
+]

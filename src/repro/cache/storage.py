@@ -1,0 +1,168 @@
+"""Tag-store backing for the functional cache models.
+
+A numpy-backed (sets x ways) array keeps tags, valid and dirty bits.
+For gigascale unscaled geometries this would be several hundred MB of
+host memory, so the store also supports a sparse dict mode that only
+materializes touched sets; the dense mode is the default for the scaled
+experiment geometries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cache.geometry import CacheGeometry
+from repro.errors import GeometryError
+
+_INVALID = -1
+_DENSE_LIMIT_LINES = 64 * 1024 * 1024  # above this, switch to sparse storage
+
+# Tag used by prefill_junk(): far above any tag a real (<=2^52-byte)
+# address space can produce, so it never matches a lookup.
+JUNK_TAG = 1 << 60
+
+
+class _JunkDefaultDict(dict):
+    """Sparse backing store whose unmaterialized sets read as junk-filled."""
+
+    def __init__(self, ways: int):
+        super().__init__()
+        self._ways = ways
+
+    def __missing__(self, set_index):
+        entry = [[JUNK_TAG, 0] for _ in range(self._ways)]
+        self[set_index] = entry
+        return entry
+
+
+class TagStore:
+    """Valid/dirty/tag state for every (set, way) slot."""
+
+    def __init__(self, geometry: CacheGeometry, dense: Optional[bool] = None):
+        self.geometry = geometry
+        if dense is None:
+            dense = geometry.num_lines <= _DENSE_LIMIT_LINES
+        self.dense = dense
+        if dense:
+            self._tags = np.full((geometry.num_sets, geometry.ways), _INVALID, dtype=np.int64)
+            self._dirty = np.zeros((geometry.num_sets, geometry.ways), dtype=bool)
+            self._sparse: Optional[Dict[int, List[List[int]]]] = None
+        else:
+            self._tags = None
+            self._dirty = None
+            self._sparse = {}
+        self.valid_lines = 0
+
+    # -- set access -------------------------------------------------------
+
+    def _sparse_set(self, set_index: int) -> List[List[int]]:
+        if isinstance(self._sparse, _JunkDefaultDict):
+            return self._sparse[set_index]
+        entry = self._sparse.get(set_index)
+        if entry is None:
+            entry = [[_INVALID, 0] for _ in range(self.geometry.ways)]
+            self._sparse[set_index] = entry
+        return entry
+
+    def tag_at(self, set_index: int, way: int) -> int:
+        """Tag stored in a slot, or -1 if invalid."""
+        if self.dense:
+            return int(self._tags[set_index, way])
+        return self._sparse_set(set_index)[way][0]
+
+    def is_valid(self, set_index: int, way: int) -> bool:
+        return self.tag_at(set_index, way) != _INVALID
+
+    def is_dirty(self, set_index: int, way: int) -> bool:
+        if self.dense:
+            return bool(self._dirty[set_index, way])
+        return bool(self._sparse_set(set_index)[way][1])
+
+    def set_dirty(self, set_index: int, way: int, dirty: bool = True) -> None:
+        if self.dense:
+            self._dirty[set_index, way] = dirty
+        else:
+            self._sparse_set(set_index)[way][1] = 1 if dirty else 0
+
+    # -- lookup -----------------------------------------------------------
+
+    def find_way(self, set_index: int, tag: int) -> Optional[int]:
+        """Way holding ``tag`` in this set, or None."""
+        if self.dense:
+            row = self._tags[set_index]
+            for way in range(self.geometry.ways):
+                if row[way] == tag:
+                    return way
+            return None
+        entry = self._sparse.get(set_index)
+        if entry is None:
+            return None
+        for way, (stored, _dirty) in enumerate(entry):
+            if stored == tag:
+                return way
+        return None
+
+    def find_way_among(self, set_index: int, tag: int, ways) -> Optional[int]:
+        """Like :meth:`find_way` but restricted to candidate ways."""
+        for way in ways:
+            if self.tag_at(set_index, way) == tag:
+                return way
+        return None
+
+    def invalid_ways(self, set_index: int) -> List[int]:
+        """Ways of a set that currently hold no line."""
+        return [
+            way
+            for way in range(self.geometry.ways)
+            if self.tag_at(set_index, way) == _INVALID
+        ]
+
+    # -- mutation ---------------------------------------------------------
+
+    def install(self, set_index: int, way: int, tag: int, dirty: bool = False) -> None:
+        """Place ``tag`` into a slot, overwriting whatever was there."""
+        if tag < 0:
+            raise GeometryError(f"tags must be non-negative, got {tag}")
+        if not self.is_valid(set_index, way):
+            self.valid_lines += 1
+        if self.dense:
+            self._tags[set_index, way] = tag
+            self._dirty[set_index, way] = dirty
+        else:
+            slot = self._sparse_set(set_index)[way]
+            slot[0] = tag
+            slot[1] = 1 if dirty else 0
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        if self.is_valid(set_index, way):
+            self.valid_lines -= 1
+        if self.dense:
+            self._tags[set_index, way] = _INVALID
+            self._dirty[set_index, way] = False
+        else:
+            slot = self._sparse_set(set_index)[way]
+            slot[0] = _INVALID
+            slot[1] = 0
+
+    def occupancy(self) -> float:
+        """Fraction of slots holding a valid line."""
+        return self.valid_lines / self.geometry.num_lines
+
+    def prefill_junk(self) -> None:
+        """Mark every slot valid with a never-matching tag.
+
+        Models the warm state of a long-running DRAM cache: a gigascale
+        cache is effectively always full, so replacement decisions start
+        from "evict something" rather than "use an empty way". Junk
+        lines are clean and never hit, so they only influence victim
+        selection.
+        """
+        if self.dense:
+            self._tags[:, :] = JUNK_TAG
+            self._dirty[:, :] = False
+            self._sparse = None
+        else:
+            self._sparse = _JunkDefaultDict(self.geometry.ways)
+        self.valid_lines = self.geometry.num_lines

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing genuine programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class GeometryError(ConfigError):
+    """A cache/memory geometry parameter is invalid (e.g. non power of two)."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record is malformed."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class PolicyError(ReproError):
+    """A steering/prediction policy was used with an incompatible cache."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is unknown or invalid."""

@@ -1,0 +1,114 @@
+"""Shared experiment machinery.
+
+Every experiment runs a set of named designs over a workload suite with
+*paired traces*: the trace for a workload is generated once (it depends
+only on cache capacity, which all designs share) and replayed against
+every design.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.accord import AccordDesign
+from repro.params.system import SystemConfig, scaled_system
+from repro.sim.runner import (
+    TraceFactory,
+    geometric_mean,
+    mean_hit_rate,
+    mean_prediction_accuracy,
+    run_suite,
+    speedups_vs_baseline,
+)
+from repro.sim.system import RunResult
+from repro.workloads.spec import main_suite
+
+DEFAULT_SCALE = 1.0 / 128.0
+
+
+@dataclass
+class Settings:
+    """Knobs shared by all experiments."""
+
+    num_accesses: int = 200_000
+    warmup: float = 0.5
+    seed: int = 7
+    scale: float = DEFAULT_SCALE
+    suite: List[str] = field(default_factory=main_suite)
+
+    def quick(self) -> "Settings":
+        """A reduced configuration for smoke tests and CI."""
+        return replace(
+            self,
+            num_accesses=40_000,
+            suite=["soplex", "libq", "mcf", "sphinx"],
+        )
+
+
+def parse_args(description: str, argv: Optional[Sequence[str]] = None) -> Settings:
+    """Common CLI: --accesses, --seed, --quick."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--accesses", type=int, default=200_000,
+                        help="requests per workload trace")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--quick", action="store_true",
+                        help="small suite / short traces for a fast check")
+    args = parser.parse_args(argv)
+    settings = Settings(num_accesses=args.accesses, seed=args.seed)
+    return settings.quick() if args.quick else settings
+
+
+class SuiteRunner:
+    """Runs designs over the settings' suite with shared traces."""
+
+    def __init__(self, settings: Settings):
+        self.settings = settings
+        # Traces depend on capacity only; build them against a 1-way view.
+        self._trace_config = scaled_system(ways=1, scale=settings.scale)
+        self.traces = TraceFactory(
+            self._trace_config, settings.num_accesses, settings.seed
+        )
+        self._results: Dict[str, Dict[str, RunResult]] = {}
+
+    def config_for(self, design: AccordDesign) -> SystemConfig:
+        return scaled_system(ways=design.ways, scale=self.settings.scale)
+
+    def run(self, label: str, design: AccordDesign) -> Dict[str, RunResult]:
+        """Run (and memoize) one design across the suite."""
+        if label not in self._results:
+            self._results[label] = run_suite(
+                design,
+                self.settings.suite,
+                config=self.config_for(design),
+                traces=self.traces,
+                num_accesses=self.settings.num_accesses,
+                warmup=self.settings.warmup,
+                seed=self.settings.seed,
+            )
+        return self._results[label]
+
+    # -- aggregates -------------------------------------------------------
+
+    def mean_hit(self, label: str) -> float:
+        return mean_hit_rate(self._results[label])
+
+    def mean_wp(self, label: str) -> float:
+        return mean_prediction_accuracy(self._results[label])
+
+    def gmean_speedup(self, label: str, baseline_label: str) -> float:
+        speedups = speedups_vs_baseline(
+            self._results[label], self._results[baseline_label]
+        )
+        return geometric_mean(speedups.values())
+
+    def speedups(self, label: str, baseline_label: str) -> Dict[str, float]:
+        return speedups_vs_baseline(
+            self._results[label], self._results[baseline_label]
+        )
+
+
+def baseline_design() -> AccordDesign:
+    """The paper's baseline: direct-mapped, tags-with-data."""
+    return AccordDesign(kind="direct", ways=1, label="Direct-mapped")

@@ -1,0 +1,51 @@
+"""Figure 12: ACCORD across all 46 workloads.
+
+Runs ACCORD 2-way and ACCORD SWS(8,2) over the extended suite
+(29 SPEC + 10 mixes + 6 GAP + 1 HPC), including workloads that are not
+sensitive to associativity. Expected shape: positive average speedup
+and — the robustness claim — no workload with a meaningful slowdown.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.report import per_workload_table
+from repro.core.accord import AccordDesign
+from repro.experiments.common import Settings, SuiteRunner, baseline_design, parse_args
+from repro.workloads.spec import extended_suite
+
+DESIGNS = {
+    "ACCORD 2-way": AccordDesign(kind="accord", ways=2),
+    "ACCORD SWS(8,2)": AccordDesign(kind="sws", ways=8, hashes=2),
+}
+
+
+def run(settings: Optional[Settings] = None) -> str:
+    settings = settings or Settings()
+    if len(settings.suite) <= len(extended_suite()) // 2:
+        pass  # quick mode keeps its reduced suite
+    else:
+        settings.suite = extended_suite()
+    runner = SuiteRunner(settings)
+    runner.run("direct", baseline_design())
+    columns = {}
+    for label, design in DESIGNS.items():
+        runner.run(label, design)
+        columns[label] = runner.speedups(label, "direct")
+    worst = {
+        label: min(per_wl.values()) for label, per_wl in columns.items()
+    }
+    table = per_workload_table(
+        columns, title=f"Figure 12: speedup over {len(settings.suite)} workloads"
+    )
+    footer = " | ".join(f"{label} worst-case={v:.3f}" for label, v in worst.items())
+    return table + "\n" + footer
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    print(run(parse_args(__doc__, argv)))
+
+
+if __name__ == "__main__":
+    main()

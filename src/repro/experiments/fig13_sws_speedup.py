@@ -1,0 +1,42 @@
+"""Figure 13: per-workload speedup of ACCORD extended with SWS.
+
+ACCORD 2-way vs ACCORD SWS(4,2) vs ACCORD SWS(8,2), over direct-mapped.
+Expected shape: SWS(8,2) gives the highest average speedup; workloads
+with near-100% hit-rate (sphinx) may lose slightly from the extra
+bandwidth/row-buffer pressure of wider sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.report import per_workload_table
+from repro.core.accord import AccordDesign
+from repro.experiments.common import Settings, SuiteRunner, baseline_design, parse_args
+
+DESIGNS = {
+    "ACCORD 2-way": AccordDesign(kind="accord", ways=2),
+    "ACCORD SWS(4,2)": AccordDesign(kind="sws", ways=4, hashes=2),
+    "ACCORD SWS(8,2)": AccordDesign(kind="sws", ways=8, hashes=2),
+}
+
+
+def run(settings: Optional[Settings] = None) -> str:
+    settings = settings or Settings()
+    runner = SuiteRunner(settings)
+    runner.run("direct", baseline_design())
+    columns = {}
+    for label, design in DESIGNS.items():
+        runner.run(label, design)
+        columns[label] = runner.speedups(label, "direct")
+    return per_workload_table(
+        columns, title="Figure 13: speedup from extending ACCORD using SWS"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    print(run(parse_args(__doc__, argv)))
+
+
+if __name__ == "__main__":
+    main()

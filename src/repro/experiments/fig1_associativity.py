@@ -1,0 +1,57 @@
+"""Figure 1: impact of associativity on hit-rate and performance.
+
+(a) hit-rate of 1/2/4/8-way caches; (b) speedup of the *parallel
+lookup* implementation (streams the whole set — bandwidth hungry);
+(c) speedup of an *idealized* set-associative design with the latency
+and bandwidth of a direct-mapped cache.
+
+Expected shape: hit-rate rises with ways; parallel lookup's speedup
+degrades as ways grow despite the better hit-rate; idealized
+associativity shows the performance that motivates ACCORD.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.accord import AccordDesign
+from repro.experiments.common import Settings, SuiteRunner, baseline_design, parse_args
+from repro.utils.tables import format_percent, format_table
+
+WAYS = (1, 2, 4, 8)
+
+
+def run(settings: Optional[Settings] = None) -> str:
+    settings = settings or Settings()
+    runner = SuiteRunner(settings)
+    runner.run("direct", baseline_design())
+
+    rows = []
+    for ways in WAYS:
+        if ways == 1:
+            hit = runner.mean_hit("direct")
+            rows.append(["1-way", format_percent(hit), "1.000", "1.000"])
+            continue
+        runner.run(f"parallel{ways}", AccordDesign(kind="parallel", ways=ways))
+        runner.run(f"ideal{ways}", AccordDesign(kind="ideal", ways=ways))
+        rows.append(
+            [
+                f"{ways}-way",
+                format_percent(runner.mean_hit(f"ideal{ways}")),
+                f"{runner.gmean_speedup(f'parallel{ways}', 'direct'):.3f}",
+                f"{runner.gmean_speedup(f'ideal{ways}', 'direct'):.3f}",
+            ]
+        )
+    return format_table(
+        ["organization", "hit-rate", "speedup (parallel)", "speedup (idealized)"],
+        rows,
+        title="Figure 1: associativity vs hit-rate and performance",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    print(run(parse_args(__doc__, argv)))
+
+
+if __name__ == "__main__":
+    main()

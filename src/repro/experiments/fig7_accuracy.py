@@ -1,0 +1,46 @@
+"""Figure 7: per-workload way-prediction accuracy for a 2-way cache.
+
+Compares Rand Pred, PWS, GWS and PWS+GWS (ACCORD). Expected shape:
+PWS ~= PIP (85%) everywhere; GWS near-perfect on high-spatial-locality
+workloads (libq, nekbone) and weak on sparse ones (mcf, graph kernels);
+PWS+GWS ~90% overall.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.report import per_workload_table, collect
+from repro.core.accord import AccordDesign
+from repro.experiments.common import Settings, SuiteRunner, parse_args
+
+DESIGNS = {
+    "Rand Pred": AccordDesign(kind="unbiased", ways=2),
+    "PWS": AccordDesign(kind="pws", ways=2),
+    "GWS": AccordDesign(kind="gws", ways=2),
+    "PWS+GWS": AccordDesign(kind="accord", ways=2),
+}
+
+
+def run(settings: Optional[Settings] = None) -> str:
+    settings = settings or Settings()
+    runner = SuiteRunner(settings)
+    columns = {}
+    for label, design in DESIGNS.items():
+        results = runner.run(label, design)
+        columns[label] = collect(results, lambda r: r.prediction_accuracy)
+    return per_workload_table(
+        columns,
+        title="Figure 7: way-prediction accuracy (2-way cache)",
+        gmean_row=False,
+    ) + "\n" + " | ".join(
+        f"{label} mean={runner.mean_wp(label):.3f}" for label in DESIGNS
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    print(run(parse_args(__doc__, argv)))
+
+
+if __name__ == "__main__":
+    main()

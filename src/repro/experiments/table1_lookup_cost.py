@@ -1,0 +1,37 @@
+"""Table I: accesses and transfers per hit/miss for each lookup scheme.
+
+Analytic (from the lookup cost model) and cross-checked empirically in
+``tests/test_experiments.py`` against the simulator's counters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.analytic import lookup_cost_table
+from repro.experiments.common import Settings, parse_args
+from repro.utils.tables import format_table
+
+
+def run(settings: Optional[Settings] = None, ways: int = 4) -> str:
+    rows = [
+        [
+            cost.organization,
+            f"{cost.hit_accesses:g} access / {cost.hit_transfers:g} transfer",
+            f"{cost.miss_accesses:g} access / {cost.miss_transfers:g} transfer",
+        ]
+        for cost in lookup_cost_table(ways)
+    ]
+    return format_table(
+        ["organization", "actions on a hit", "actions on a miss"],
+        rows,
+        title=f"Table I: lookup costs for an N={ways}-way set-associative cache",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    print(run(parse_args(__doc__, argv)))
+
+
+if __name__ == "__main__":
+    main()

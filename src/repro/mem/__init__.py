@@ -1,0 +1,29 @@
+"""Memory device models: DRAM banks/channels, NVM, buses, scheduling.
+
+Two levels of fidelity are provided:
+
+* :class:`repro.mem.bus.BandwidthAccountant` — event counting used by
+  the fast interval timing model.
+* :class:`repro.mem.dram.DramDevice` / :class:`repro.mem.nvm.NvmDevice`
+  with banks, row buffers and an FR-FCFS scheduler — the cycle-level
+  detailed engine used for validation.
+"""
+
+from repro.mem.request import Access, AccessType
+from repro.mem.bus import BandwidthAccountant
+from repro.mem.bank import Bank
+from repro.mem.channel import Channel
+from repro.mem.dram import DramDevice
+from repro.mem.nvm import NvmDevice
+from repro.mem.scheduler import FrFcfsScheduler
+
+__all__ = [
+    "Access",
+    "AccessType",
+    "BandwidthAccountant",
+    "Bank",
+    "Channel",
+    "DramDevice",
+    "NvmDevice",
+    "FrFcfsScheduler",
+]

@@ -1,0 +1,115 @@
+"""DRAM bank model with an open-row buffer (detailed engine).
+
+A bank services one column access at a time. The row buffer keeps the
+most recently activated row open; accesses to the open row cost tCAS,
+accesses to another row cost tRP + tRCD + tCAS, and the first access to
+a precharged bank costs tRCD + tCAS. tRAS bounds how quickly an
+activated row may be precharged again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.request import DeviceResponse
+from repro.params.timing import DramTiming
+
+
+@dataclass
+class Bank:
+    """State machine for one DRAM bank."""
+
+    timing: DramTiming
+    open_row: int = -1  # -1 means precharged
+    busy_until_ns: float = 0.0
+    activated_at_ns: float = field(default=-1.0e18)
+    row_hits: int = 0
+    row_misses: int = 0
+    row_empties: int = 0
+
+    def access(self, row: int, now_ns: float) -> DeviceResponse:
+        """Perform a column access to ``row`` arriving at ``now_ns``.
+
+        Returns when the data is available on the bank's sense amps;
+        bus transfer time is accounted separately by the channel.
+        """
+        start = max(now_ns, self.busy_until_ns)
+        if self.open_row == row:
+            latency = self.timing.row_hit_ns
+            self.row_hits += 1
+            row_hit = True
+        elif self.open_row < 0:
+            latency = self.timing.row_empty_ns
+            self.row_empties += 1
+            self.activated_at_ns = start
+            row_hit = False
+        else:
+            # Respect tRAS before the open row can be precharged.
+            ras_ready = self.activated_at_ns + self.timing.t_ras
+            start = max(start, ras_ready)
+            latency = self.timing.row_miss_ns
+            self.row_misses += 1
+            self.activated_at_ns = start + self.timing.t_rp
+            row_hit = False
+        self.open_row = row
+        ready = start + latency
+        self.busy_until_ns = ready
+        return DeviceResponse(ready_ns=ready, row_hit=row_hit)
+
+    def precharge(self, now_ns: float) -> None:
+        """Close the open row (used by close-page policies and refresh)."""
+        if self.open_row >= 0:
+            ras_ready = self.activated_at_ns + self.timing.t_ras
+            start = max(now_ns, self.busy_until_ns, ras_ready)
+            self.busy_until_ns = start + self.timing.t_rp
+            self.open_row = -1
+
+    @property
+    def total_accesses(self) -> int:
+        return self.row_hits + self.row_misses + self.row_empties
+
+    def row_hit_rate(self) -> float:
+        """Fraction of accesses that hit the open row."""
+        total = self.total_accesses
+        return self.row_hits / total if total else 0.0
+
+
+class RefreshController:
+    """Periodic all-bank refresh (tREFI/tRFC) for the detailed engine.
+
+    Every ``t_refi_ns`` the controller steals the bank array for
+    ``t_rfc_ns`` and closes all rows. Stacked DRAM refreshes per
+    channel; modelling it per-bank-group is unnecessary at this
+    granularity. Refresh costs are invisible to the interval model
+    (folded into the bus-efficiency factor) but the detailed engine can
+    show their latency spikes.
+    """
+
+    def __init__(self, t_refi_ns: float = 3900.0, t_rfc_ns: float = 260.0):
+        if t_refi_ns <= 0 or t_rfc_ns <= 0:
+            raise ValueError("refresh intervals must be positive")
+        if t_rfc_ns >= t_refi_ns:
+            raise ValueError("tRFC must be smaller than tREFI")
+        self.t_refi_ns = t_refi_ns
+        self.t_rfc_ns = t_rfc_ns
+        self._next_refresh_ns = t_refi_ns
+        self.refreshes = 0
+
+    def apply(self, banks, now_ns: float) -> float:
+        """Perform any refreshes due by ``now_ns``.
+
+        Returns the time until which the banks are blocked (now_ns if
+        no refresh was due). Catch-up refreshes are issued one per call
+        at most — the detailed engines call this per request, which is
+        far more often than tREFI at any realistic load.
+        """
+        if now_ns < self._next_refresh_ns:
+            return now_ns
+        start = max(now_ns, self._next_refresh_ns)
+        end = start + self.t_rfc_ns
+        for bank in banks:
+            bank.precharge(start)
+            bank.busy_until_ns = max(bank.busy_until_ns, end)
+        self._next_refresh_ns += self.t_refi_ns
+        self.refreshes += 1
+        return end

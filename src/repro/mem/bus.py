@@ -1,0 +1,61 @@
+"""Bandwidth accounting for the interval timing model.
+
+The fast timing model does not simulate individual bus cycles; instead,
+cache and memory models report how many bytes each class of traffic
+moved, and the timing model converts byte counts plus a runtime estimate
+into utilization and queueing delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.params.timing import BusConfig
+
+
+@dataclass
+class BandwidthAccountant:
+    """Accumulates bytes moved over a bus, bucketed by traffic class."""
+
+    bus: BusConfig
+    bytes_by_class: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, traffic_class: str, num_bytes: int) -> None:
+        """Record ``num_bytes`` of traffic of the given class."""
+        if num_bytes < 0:
+            raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+        self.bytes_by_class[traffic_class] = (
+            self.bytes_by_class.get(traffic_class, 0) + num_bytes
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_class.values())
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of peak bandwidth consumed over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            raise ValueError(f"elapsed time must be positive, got {elapsed_ns}")
+        peak_bytes = self.bus.aggregate_bandwidth_gbps * elapsed_ns  # GB/s * ns = bytes
+        return self.total_bytes / peak_bytes
+
+    def queueing_delay_ns(self, elapsed_ns: float, service_ns: float) -> float:
+        """Mean queueing delay per access under an M/M/1 approximation.
+
+        Utilization is clamped just below 1 so that oversubscribed
+        configurations produce a very large but finite penalty; the
+        fixed-point runtime solver then stretches runtime until
+        utilization is feasible.
+        """
+        rho = min(self.utilization(elapsed_ns), 0.98)
+        if rho <= 0:
+            return 0.0
+        return service_ns * rho / (1.0 - rho)
+
+    def reset(self) -> None:
+        self.bytes_by_class.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a copy of the per-class byte counts."""
+        return dict(self.bytes_by_class)

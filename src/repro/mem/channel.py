@@ -1,0 +1,54 @@
+"""A DRAM channel: a set of banks sharing one data bus (detailed engine)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigError
+from repro.mem.bank import Bank
+from repro.mem.request import DeviceResponse
+from repro.params.timing import BusConfig, DramTiming
+
+
+@dataclass
+class Channel:
+    """Banks plus a shared bus; tracks bus occupancy for transfers."""
+
+    timing: DramTiming
+    bus: BusConfig
+    num_banks: int = 16
+    banks: List[Bank] = field(default_factory=list)
+    bus_busy_until_ns: float = 0.0
+    bytes_transferred: int = 0
+
+    def __post_init__(self):
+        if self.num_banks <= 0:
+            raise ConfigError("a channel needs at least one bank")
+        if not self.banks:
+            self.banks = [Bank(self.timing) for _ in range(self.num_banks)]
+
+    def access(
+        self, bank_index: int, row: int, num_bytes: int, now_ns: float
+    ) -> DeviceResponse:
+        """Access ``row`` in one bank, then stream ``num_bytes`` on the bus."""
+        if not 0 <= bank_index < self.num_banks:
+            raise ConfigError(
+                f"bank index {bank_index} out of range [0, {self.num_banks})"
+            )
+        bank_response = self.banks[bank_index].access(row, now_ns)
+        # Per-channel bus: this channel owns 1/channels of aggregate BW,
+        # so the transfer time is for a single channel's width.
+        transfer_ns = self.bus.transfer_ns(num_bytes)
+        start = max(bank_response.ready_ns, self.bus_busy_until_ns)
+        ready = start + transfer_ns
+        self.bus_busy_until_ns = ready
+        self.bytes_transferred += num_bytes
+        return DeviceResponse(ready_ns=ready, row_hit=bank_response.row_hit)
+
+    def row_hit_rate(self) -> float:
+        total = sum(b.total_accesses for b in self.banks)
+        if not total:
+            return 0.0
+        hits = sum(b.row_hits for b in self.banks)
+        return hits / total

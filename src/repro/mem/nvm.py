@@ -1,0 +1,81 @@
+"""Non-volatile main memory (PCM-like) device model.
+
+NVM row buffers exist but the dominant effect the paper relies on is the
+raw latency gap (reads 2-4x, writes 4x DRAM) and the much lower channel
+bandwidth (32 GB/s vs 128 GB/s). The detailed model therefore uses flat
+read/write array latencies plus bus occupancy per transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.mem.request import DeviceResponse
+from repro.params.system import LINE_SIZE
+from repro.params.timing import BusConfig, NvmTiming
+
+
+@dataclass
+class _NvmChannel:
+    """One NVM channel: serial array access + bus streaming."""
+
+    timing: NvmTiming
+    bus: BusConfig
+    busy_until_ns: float = 0.0
+    bytes_transferred: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    def access(self, is_write: bool, num_bytes: int, now_ns: float) -> DeviceResponse:
+        start = max(now_ns, self.busy_until_ns)
+        array_ns = self.timing.write_ns if is_write else self.timing.read_ns
+        transfer_ns = self.bus.transfer_ns(num_bytes)
+        ready = start + array_ns + transfer_ns
+        # Writes occupy the device but a read's data is what the caller
+        # waits for; either way the channel is busy until completion.
+        self.busy_until_ns = ready
+        self.bytes_transferred += num_bytes
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        return DeviceResponse(ready_ns=ready, row_hit=False)
+
+
+@dataclass
+class NvmDevice:
+    """Multi-channel NVM main memory."""
+
+    timing: NvmTiming
+    bus: BusConfig
+    channels: List[_NvmChannel] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.channels:
+            self.channels = [
+                _NvmChannel(self.timing, self.bus) for _ in range(self.bus.channels)
+            ]
+
+    def _channel_for(self, line_addr: int) -> _NvmChannel:
+        return self.channels[line_addr % len(self.channels)]
+
+    def read_line(self, addr: int, now_ns: float) -> DeviceResponse:
+        """Read one 64B line."""
+        return self._channel_for(addr // LINE_SIZE).access(False, LINE_SIZE, now_ns)
+
+    def write_line(self, addr: int, now_ns: float) -> DeviceResponse:
+        """Write one 64B line (cache writeback or bypass store)."""
+        return self._channel_for(addr // LINE_SIZE).access(True, LINE_SIZE, now_ns)
+
+    @property
+    def reads(self) -> int:
+        return sum(c.reads for c in self.channels)
+
+    @property
+    def writes(self) -> int:
+        return sum(c.writes for c in self.channels)
+
+    @property
+    def bytes_transferred(self) -> int:
+        return sum(c.bytes_transferred for c in self.channels)

@@ -1,0 +1,78 @@
+"""FR-FCFS memory request scheduler for the detailed engine.
+
+First-Ready, First-Come-First-Served: among queued requests, those that
+hit the currently open row of their bank are issued first; ties break by
+arrival order. This is the standard high-performance DRAM scheduling
+policy and the one USIMM-style simulators default to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _QueuedRequest:
+    arrival_ns: float
+    seq: int
+    payload: object = field(compare=False)
+    bank_key: Tuple[int, int] = field(compare=False, default=(0, 0))
+    row: int = field(compare=False, default=0)
+
+
+class FrFcfsScheduler:
+    """A bounded queue implementing FR-FCFS issue order."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._queue: List[_QueuedRequest] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.capacity
+
+    def enqueue(
+        self, payload: object, arrival_ns: float, bank_key: Tuple[int, int], row: int
+    ) -> None:
+        """Add a request; raises if the queue is full (caller must stall)."""
+        if self.full:
+            raise OverflowError("scheduler queue is full; caller must stall")
+        self._queue.append(
+            _QueuedRequest(arrival_ns, self._seq, payload, bank_key, row)
+        )
+        self._seq += 1
+
+    def pop_next(
+        self, open_row_of: Callable[[Tuple[int, int]], int]
+    ) -> Optional[object]:
+        """Remove and return the next request to issue.
+
+        ``open_row_of`` maps a bank key to its currently open row (-1 if
+        precharged). Row-hit requests are preferred; within each class
+        the oldest wins.
+        """
+        if not self._queue:
+            return None
+        best_index = None
+        best_key = None
+        for i, req in enumerate(self._queue):
+            is_hit = open_row_of(req.bank_key) == req.row
+            key = (not is_hit, req.arrival_ns, req.seq)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = i
+        request = self._queue.pop(best_index)
+        return request.payload
+
+    def oldest_arrival(self) -> Optional[float]:
+        """Arrival time of the oldest queued request, or None if empty."""
+        if not self._queue:
+            return None
+        return min(req.arrival_ns for req in self._queue)

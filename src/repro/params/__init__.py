@@ -1,0 +1,21 @@
+"""System configuration dataclasses mirroring the paper's Table III."""
+
+from repro.params.timing import DramTiming, NvmTiming, BusConfig
+from repro.params.system import (
+    CacheGeometryConfig,
+    CoreConfig,
+    SystemConfig,
+    scaled_system,
+    paper_system,
+)
+
+__all__ = [
+    "DramTiming",
+    "NvmTiming",
+    "BusConfig",
+    "CacheGeometryConfig",
+    "CoreConfig",
+    "SystemConfig",
+    "scaled_system",
+    "paper_system",
+]

@@ -1,0 +1,100 @@
+"""Cache-state checkpointing.
+
+Long warmups dominate experiment runtime when sweeping many designs
+over one workload. A checkpoint captures the *functional* state of a
+DRAM cache after warmup — tag store contents, dirty bits and the DCP
+directory — so later runs can resume from it instead of replaying the
+warmup trace. Policy tables (RIT/RLT, PSEL) are intentionally not
+captured: they re-warm within a few thousand accesses and belong to the
+design under test, not the workload state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cache.dram_cache import DramCache
+from repro.errors import SimulationError
+
+_FORMAT = "repro-cache-checkpoint-v1"
+
+
+@dataclass
+class CacheCheckpoint:
+    """Snapshot of a cache's resident lines."""
+
+    capacity_bytes: int
+    ways: int
+    line_size: int
+    # Parallel lists: (set, way, tag, dirty) for every valid non-junk line.
+    entries: List[List[int]]
+
+    @classmethod
+    def capture(cls, cache: DramCache) -> "CacheCheckpoint":
+        """Snapshot every valid, non-junk line of the cache."""
+        from repro.cache.storage import JUNK_TAG
+
+        geometry = cache.geometry
+        store = cache.store
+        entries: List[List[int]] = []
+        for set_index in range(geometry.num_sets):
+            for way in range(geometry.ways):
+                tag = store.tag_at(set_index, way)
+                if tag < 0 or tag == JUNK_TAG:
+                    continue
+                dirty = 1 if store.is_dirty(set_index, way) else 0
+                entries.append([set_index, way, tag, dirty])
+        return cls(
+            capacity_bytes=geometry.capacity_bytes,
+            ways=geometry.ways,
+            line_size=geometry.line_size,
+            entries=entries,
+        )
+
+    def restore(self, cache: DramCache) -> int:
+        """Load the snapshot into a compatible cache; returns line count.
+
+        The target must share the geometry. The DCP directory is
+        rebuilt so writebacks remain consistent.
+        """
+        geometry = cache.geometry
+        if (geometry.capacity_bytes, geometry.ways, geometry.line_size) != (
+            self.capacity_bytes, self.ways, self.line_size,
+        ):
+            raise SimulationError(
+                "checkpoint geometry does not match the target cache"
+            )
+        for set_index, way, tag, dirty in self.entries:
+            cache.store.install(set_index, way, tag, dirty=bool(dirty))
+            if cache.dcp is not None:
+                addr = geometry.addr_of(set_index, tag)
+                cache.dcp.insert(geometry.line_addr(addr), way)
+        return len(self.entries)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        payload = {
+            "format": _FORMAT,
+            "capacity_bytes": self.capacity_bytes,
+            "ways": self.ways,
+            "line_size": self.line_size,
+            "entries": self.entries,
+        }
+        with open(path, "w", encoding="ascii") as handle:
+            json.dump(payload, handle)
+
+    @classmethod
+    def load(cls, path: str) -> "CacheCheckpoint":
+        with open(path, "r", encoding="ascii") as handle:
+            payload: Dict = json.load(handle)
+        if payload.get("format") != _FORMAT:
+            raise SimulationError(f"{path}: not a cache checkpoint")
+        return cls(
+            capacity_bytes=payload["capacity_bytes"],
+            ways=payload["ways"],
+            line_size=payload["line_size"],
+            entries=[list(map(int, entry)) for entry in payload["entries"]],
+        )

@@ -1,0 +1,111 @@
+"""System-level simulator: trace -> cache -> timing.
+
+:class:`Simulator` drives one cache design with one trace (with a
+warmup region excluded from statistics) and evaluates the interval
+timing model on the measured counters. Designs are named by
+:class:`repro.core.accord.AccordDesign` (re-exported here as
+``DesignSpec`` for the public API).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.cache.geometry import CacheGeometry
+from repro.core.accord import AccordDesign, make_design
+from repro.errors import SimulationError
+from repro.params.system import SystemConfig
+from repro.sim.stats import CacheStats
+from repro.sim.timing_model import IntervalTimingModel, TimingBreakdown
+from repro.sim.trace import Trace
+
+DesignSpec = AccordDesign  # public alias
+
+
+def build_dram_cache(design: AccordDesign, config: SystemConfig, seed: int = 1):
+    """Instantiate the cache object for a design under a system config."""
+    geometry = CacheGeometry(
+        config.dram_cache.capacity_bytes, design.ways, config.dram_cache.line_size
+    )
+    return make_design(design, geometry, seed=seed)
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one (design, workload) run."""
+
+    design: AccordDesign
+    workload: str
+    stats: CacheStats
+    timing: TimingBreakdown
+    instructions: float
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate
+
+    @property
+    def prediction_accuracy(self) -> float:
+        return self.stats.prediction_accuracy
+
+    @property
+    def runtime_ns(self) -> float:
+        return self.timing.runtime_ns
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Weighted-speedup proxy: baseline runtime / this runtime."""
+        if self.workload != baseline.workload:
+            raise SimulationError(
+                f"comparing different workloads: {self.workload} vs {baseline.workload}"
+            )
+        return baseline.runtime_ns / self.runtime_ns
+
+
+class Simulator:
+    """Runs one design against traces under one system configuration."""
+
+    def __init__(self, config: SystemConfig, design: AccordDesign, seed: int = 1):
+        self.config = config
+        self.design = design
+        self.seed = seed
+        self.cache = build_dram_cache(design, config, seed=seed)
+        self.timing_model = IntervalTimingModel(config)
+
+    def run(self, trace: Trace, warmup_fraction: float = 0.25) -> RunResult:
+        """Simulate a trace; statistics cover only the post-warmup part."""
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise SimulationError("warmup fraction must be in [0, 1)")
+        n = len(trace)
+        warm = int(n * warmup_fraction)
+        addrs = trace.addrs
+        writes = trace.writes
+        cache = self.cache
+        read = cache.read
+        writeback = cache.writeback
+
+        for i in range(warm):
+            if writes[i]:
+                writeback(addrs[i])
+            else:
+                read(addrs[i])
+
+        cache.stats = CacheStats()  # measurement window starts here
+        for i in range(warm, n):
+            if writes[i]:
+                writeback(addrs[i])
+            else:
+                read(addrs[i])
+
+        stats = cache.stats
+        instructions = stats.demand_reads * trace.instructions_per_access
+        if instructions <= 0:
+            raise SimulationError(
+                f"trace {trace.name!r} produced no post-warmup demand reads"
+            )
+        timing = self.timing_model.evaluate(stats, instructions)
+        return RunResult(
+            design=self.design,
+            workload=trace.name,
+            stats=stats,
+            timing=timing,
+            instructions=instructions,
+        )

@@ -1,0 +1,136 @@
+"""Trace representation and I/O.
+
+A trace is the stream of memory requests arriving at the DRAM cache
+(i.e. L3 misses plus L3 dirty writebacks), in arrival order. For speed
+the hot representation is two parallel sequences — byte addresses and
+write flags — plus a constant instructions-per-access factor derived
+from the workload's MPKI; a self-describing text format is provided for
+persistence and interchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One request in interchange form."""
+
+    addr: int
+    is_write: bool
+
+
+@dataclass
+class Trace:
+    """An in-memory request stream.
+
+    ``instructions_per_access`` reconstructs retired instructions for
+    CPI math: a workload with MPKI m has 1000/m instructions per L3
+    *miss-path* access. Writebacks ride along with the read stream and
+    carry no instruction weight of their own.
+    """
+
+    name: str
+    addrs: List[int]
+    writes: Sequence[int]  # truthy = writeback; bytearray in practice
+    instructions_per_access: float
+
+    def __post_init__(self):
+        if len(self.addrs) != len(self.writes):
+            raise TraceError(
+                f"trace {self.name!r}: {len(self.addrs)} addresses but "
+                f"{len(self.writes)} write flags"
+            )
+        if self.instructions_per_access <= 0:
+            raise TraceError("instructions_per_access must be positive")
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for addr, w in zip(self.addrs, self.writes):
+            yield TraceRecord(addr, bool(w))
+
+    @property
+    def read_count(self) -> int:
+        return len(self.addrs) - self.write_count
+
+    @property
+    def write_count(self) -> int:
+        return sum(1 for w in self.writes if w)
+
+    @property
+    def total_instructions(self) -> float:
+        """Instructions represented by the read (demand) portion."""
+        return self.read_count * self.instructions_per_access
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace covering [start, stop)."""
+        return Trace(
+            name=f"{self.name}[{start}:{stop}]",
+            addrs=self.addrs[start:stop],
+            writes=self.writes[start:stop],
+            instructions_per_access=self.instructions_per_access,
+        )
+
+    def footprint_lines(self, line_size: int = 64) -> int:
+        """Number of distinct 64B lines touched."""
+        return len({addr // line_size for addr in self.addrs})
+
+
+def trace_from_arrays(
+    name: str,
+    addrs: Iterable[int],
+    writes: Iterable[int],
+    instructions_per_access: float,
+) -> Trace:
+    """Build a trace from any iterables (materializes lists)."""
+    return Trace(name, list(addrs), bytearray(1 if w else 0 for w in writes),
+                 instructions_per_access)
+
+
+_HEADER = "# repro-trace-v1"
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace in the line-oriented text format."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"{_HEADER}\n")
+        handle.write(f"name {trace.name}\n")
+        handle.write(f"ipa {trace.instructions_per_access!r}\n")
+        for addr, w in zip(trace.addrs, trace.writes):
+            kind = "W" if w else "R"
+            handle.write(f"{kind} {addr:x}\n")
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace produced by :func:`save_trace`."""
+    addrs: List[int] = []
+    writes = bytearray()
+    name = "unnamed"
+    ipa = 1.0
+    with open(path, "r", encoding="ascii") as handle:
+        first = handle.readline().rstrip("\n")
+        if first != _HEADER:
+            raise TraceError(f"{path}: not a repro trace (bad header {first!r})")
+        for line_no, raw in enumerate(handle, start=2):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if parts[0] == "name":
+                name = " ".join(parts[1:])
+            elif parts[0] == "ipa":
+                ipa = float(parts[1])
+            elif parts[0] in ("R", "W"):
+                if len(parts) != 2:
+                    raise TraceError(f"{path}:{line_no}: malformed record {line!r}")
+                addrs.append(int(parts[1], 16))
+                writes.append(1 if parts[0] == "W" else 0)
+            else:
+                raise TraceError(f"{path}:{line_no}: unknown record {parts[0]!r}")
+    return Trace(name, addrs, writes, ipa)

@@ -1,0 +1,11 @@
+"""User-facing command-line tools.
+
+* ``python -m repro.tools.make_traces`` — generate the calibrated
+  workload traces as portable files.
+* ``python -m repro.tools.profile_trace`` — profile a trace file
+  (footprint, spatial runs, reuse distances).
+
+The experiments never need trace files (they generate in memory); these
+tools exist for interchange with other simulators and for inspecting
+what the generators produce.
+"""

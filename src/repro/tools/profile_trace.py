@@ -1,0 +1,59 @@
+"""Profile a saved trace file.
+
+Usage::
+
+    python -m repro.tools.profile_trace traces/soplex.trace
+
+Prints footprint, spatial-run statistics, region reuse and a
+reuse-distance histogram — the characteristics the synthetic
+generators are calibrated against (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.sim.profile import profile_trace
+from repro.sim.trace import load_trace
+from repro.utils.charts import histogram
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace_files", nargs="+", help="trace files to profile")
+    parser.add_argument("--no-reuse", action="store_true",
+                        help="skip the (slower) reuse-distance estimate")
+    parser.add_argument("--runs-histogram", action="store_true",
+                        help="also plot the distribution of run starts")
+    args = parser.parse_args(argv)
+
+    for path in args.trace_files:
+        trace = load_trace(path)
+        profile = profile_trace(trace, reuse_distances=not args.no_reuse)
+        print(f"== {path} ({trace.name}) ==")
+        print(profile.summary())
+        if args.runs_histogram:
+            run_samples = []
+            previous = None
+            run = 0
+            for addr, is_write in zip(trace.addrs, trace.writes):
+                if is_write:
+                    continue
+                line = addr // 64
+                if previous is not None and line == previous + 1:
+                    run += 1
+                else:
+                    if run:
+                        run_samples.append(float(run))
+                    run = 1
+                previous = line
+            if run:
+                run_samples.append(float(run))
+            print(histogram(run_samples, bins=8, title="run-length distribution"))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""ASCII bar charts for per-workload figures.
+
+The paper's per-workload results are bar charts (Figures 7, 10, 12,
+13, 14); rendering them as horizontal ASCII bars makes experiment
+output directly comparable by eye without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+_BAR = "#"
+_DEFAULT_WIDTH = 50
+
+
+def bar_chart(
+    values: Dict[str, float],
+    title: Optional[str] = None,
+    width: int = _DEFAULT_WIDTH,
+    baseline: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render labeled values as horizontal bars.
+
+    If ``baseline`` is given (e.g. 1.0 for speedups), bars grow from
+    the baseline: values above it render as ``#`` bars to the right of
+    a ``|`` pivot, values below as ``-`` bars to the left — mirroring
+    how the paper's speedup charts read around 1.0.
+    """
+    if not values:
+        raise ValueError("no values to chart")
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+
+    label_width = max(len(label) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+
+    if baseline is None:
+        maximum = max(values.values())
+        if maximum <= 0:
+            raise ValueError("bar chart needs at least one positive value")
+        for label, value in values.items():
+            bar = _BAR * max(int(round(width * value / maximum)), 0)
+            lines.append(f"{label.ljust(label_width)} |{bar} {fmt.format(value)}")
+        return "\n".join(lines)
+
+    # Diverging mode around the baseline.
+    half = width // 2
+    spread = max(abs(v - baseline) for v in values.values()) or 1.0
+    for label, value in values.items():
+        delta = value - baseline
+        length = min(int(round(half * abs(delta) / spread)), half)
+        if delta >= 0:
+            left = " " * half
+            right = _BAR * length
+        else:
+            left = (" " * (half - length)) + "-" * length
+            right = ""
+        lines.append(
+            f"{label.ljust(label_width)} {left}|{right.ljust(half)} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line trend glyph string (used in sweep summaries)."""
+    if not values:
+        raise ValueError("no values")
+    glyphs = " .:-=+*#%@"
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return glyphs[len(glyphs) // 2] * len(values)
+    out = []
+    for value in values:
+        index = int((value - lo) / (hi - lo) * (len(glyphs) - 1))
+        out.append(glyphs[index])
+    return "".join(out)
+
+
+def histogram(
+    samples: Iterable[float],
+    bins: int = 10,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Bucket samples into equal-width bins and render bar counts."""
+    data = list(samples)
+    if not data:
+        raise ValueError("no samples")
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    lo = min(data)
+    hi = max(data)
+    span = (hi - lo) or 1.0
+    counts = [0] * bins
+    for sample in data:
+        index = min(int((sample - lo) / span * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        low_edge = lo + span * i / bins
+        high_edge = lo + span * (i + 1) / bins
+        bar = _BAR * int(round(width * count / peak)) if peak else ""
+        lines.append(f"[{low_edge:10.2f}, {high_edge:10.2f}) |{bar} {count}")
+    return "\n".join(lines)

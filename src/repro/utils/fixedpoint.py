@@ -1,0 +1,63 @@
+"""Fixed-point solving used by the interval timing model.
+
+The runtime of a workload depends on bus queueing delays, which depend
+on bus utilization, which depends on the runtime. The interval model
+therefore solves ``T = f(T)``.
+
+``f`` is monotonically non-increasing in ``T`` (longer runtime → lower
+utilization → less queueing → shorter predicted runtime), so
+``g(T) = f(T) - T`` is strictly decreasing and has a unique root, which
+bisection finds robustly even near bus saturation where damped
+iteration oscillates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+def solve_fixed_point(
+    func: Callable[[float], float],
+    initial: float,
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> float:
+    """Solve ``x = func(x)`` for positive ``x`` by bracketing + bisection."""
+    if initial <= 0.0:
+        raise SimulationError(f"initial guess must be positive, got {initial}")
+
+    lo = initial
+    # Ensure g(lo) >= 0, i.e. func(lo) >= lo; shrink lo until it brackets.
+    for _ in range(200):
+        if func(lo) >= lo:
+            break
+        lo /= 2.0
+    else:
+        raise SimulationError("could not bracket the fixed point from below")
+
+    hi = max(lo * 2.0, initial)
+    for _ in range(200):
+        if func(hi) <= hi:
+            break
+        hi *= 2.0
+    else:
+        raise SimulationError("could not bracket the fixed point from above")
+
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        value = func(mid)
+        if value <= 0.0:
+            raise SimulationError(
+                f"fixed-point function returned non-positive value {value}"
+            )
+        if abs(value - mid) <= tolerance * max(1.0, mid):
+            return mid
+        if value > mid:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tolerance * max(1.0, hi):
+            return 0.5 * (lo + hi)
+    return 0.5 * (lo + hi)

@@ -1,0 +1,89 @@
+"""Deterministic pseudo-random number generation.
+
+The simulator needs randomness in three places: the random replacement
+policy, the PWS install coin flip, and workload generation. All of them
+use :class:`XorShift64` so results are reproducible across runs and
+platforms, and independent streams can be derived from a single
+experiment seed.
+
+xorshift64* is used rather than :mod:`random` because it is cheap, has a
+tiny state we can snapshot, and its determinism does not depend on the
+stdlib's Mersenne Twister implementation details.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_MULT = 0x2545F4914F6CDD1D
+
+
+class XorShift64:
+    """A small, fast, deterministic PRNG (xorshift64* variant)."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int = 1):
+        # A zero state would make xorshift degenerate to all zeros.
+        self._state = (seed & _MASK64) or 0x9E3779B97F4A7C15
+
+    def fork(self, stream_id: int) -> "XorShift64":
+        """Derive an independent generator for a named sub-stream.
+
+        Mixing the stream id through one xorshift step decorrelates the
+        child from the parent even for small consecutive ids.
+        """
+        mixed = (self._state ^ ((stream_id + 1) * 0xBF58476D1CE4E5B9)) & _MASK64
+        child = XorShift64(mixed)
+        child.next_u64()
+        return child
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit unsigned pseudo-random integer."""
+        x = self._state
+        x ^= (x >> 12)
+        x ^= (x << 25) & _MASK64
+        x ^= (x >> 27)
+        self._state = x
+        return (x * _MULT) & _MASK64
+
+    def next_float(self) -> float:
+        """Return a float uniformly distributed in [0, 1)."""
+        return self.next_u64() / float(1 << 64)
+
+    def next_below(self, bound: int) -> int:
+        """Return an integer uniformly distributed in [0, bound)."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64() % bound
+
+    def next_bool(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        return self.next_float() < probability
+
+    def choice(self, items):
+        """Return a uniformly chosen element of a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.next_below(len(items))]
+
+    def getstate(self) -> int:
+        """Return the internal 64-bit state (for snapshot/restore)."""
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        """Restore a state previously returned by :meth:`getstate`."""
+        self._state = (state & _MASK64) or 0x9E3779B97F4A7C15
+
+
+def mix64(value: int) -> int:
+    """A stateless 64-bit finalizer (splitmix64) for hashing integers.
+
+    Used where a policy needs a deterministic pseudo-random function of
+    an address (e.g. workload generators spreading pages over memory).
+    """
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)

@@ -1,0 +1,5 @@
+"""Virtual memory: VA -> PA translation with randomized frame allocation."""
+
+from repro.vm.translation import PageTable
+
+__all__ = ["PageTable"]

@@ -1,0 +1,220 @@
+"""Primitive access-pattern generators and phase composition.
+
+The catalog generator (:mod:`repro.workloads.synthetic`) models each
+benchmark as one stationary behaviour. Real programs move through
+phases — an initialization stream, a pointer-chasing core loop, a
+write-heavy result phase — and several of the paper's workloads (gcc,
+xalancbmk) are known phase-changers. This module provides:
+
+* primitive generators (:class:`StreamPattern`,
+  :class:`PointerChasePattern`, :class:`HotColdPattern`,
+  :class:`ScanPattern`) that each produce one idiomatic address stream;
+* :class:`PhasedWorkload`, which splices primitives into a phased
+  trace, letting users compose custom workloads against the public
+  simulator API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.params.system import LINE_SIZE, PAGE_SIZE
+from repro.sim.trace import Trace
+from repro.utils.rng import XorShift64, mix64
+
+
+class Pattern:
+    """Base class: a stateful source of line-granularity addresses."""
+
+    name = "pattern"
+
+    def next_access(self, rng: XorShift64) -> Tuple[int, bool]:
+        """Return (byte address, is_write) for the next request."""
+        raise NotImplementedError
+
+
+class StreamPattern(Pattern):
+    """Sequential streaming over a buffer (STREAM/lbm-like).
+
+    Touches consecutive lines with an optional stride, wrapping at the
+    end of the buffer. ``write_every`` inserts a store each N loads
+    (copy kernels write as much as they read).
+    """
+
+    name = "stream"
+
+    def __init__(self, base: int, size_bytes: int, stride_lines: int = 1,
+                 write_every: int = 0):
+        if size_bytes < LINE_SIZE:
+            raise WorkloadError("stream buffer smaller than one line")
+        if stride_lines < 1:
+            raise WorkloadError("stride must be >= 1 line")
+        self.base = base
+        self.num_lines = size_bytes // LINE_SIZE
+        self.stride = stride_lines
+        self.write_every = write_every
+        self._position = 0
+        self._count = 0
+
+    def next_access(self, rng: XorShift64) -> Tuple[int, bool]:
+        addr = self.base + (self._position % self.num_lines) * LINE_SIZE
+        self._position += self.stride
+        self._count += 1
+        is_write = self.write_every > 0 and self._count % self.write_every == 0
+        return addr, is_write
+
+
+class PointerChasePattern(Pattern):
+    """Random-graph pointer chasing (mcf/graph-analytics-like).
+
+    Follows a fixed pseudo-random permutation over the node set, so
+    every access is data-dependent, spatial locality is nil, and the
+    working set is the whole node array.
+    """
+
+    name = "pointer_chase"
+
+    def __init__(self, base: int, num_nodes: int, seed: int = 1):
+        if num_nodes < 2:
+            raise WorkloadError("need at least two nodes to chase")
+        self.base = base
+        self.num_nodes = num_nodes
+        self._salt = mix64(seed)
+        self._current = 0
+
+    def next_access(self, rng: XorShift64) -> Tuple[int, bool]:
+        addr = self.base + self._current * LINE_SIZE
+        self._current = mix64(self._current ^ self._salt) % self.num_nodes
+        return addr, False
+
+
+class HotColdPattern(Pattern):
+    """A hot working set with a cold tail (libquantum/caching-friendly).
+
+    ``hot_fraction`` of accesses go uniformly to the hot region; the
+    rest sample the full footprint.
+    """
+
+    name = "hot_cold"
+
+    def __init__(self, base: int, footprint_bytes: int, hot_bytes: int,
+                 hot_fraction: float = 0.9, write_frac: float = 0.0):
+        if hot_bytes > footprint_bytes:
+            raise WorkloadError("hot region larger than the footprint")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise WorkloadError("hot_fraction out of range")
+        self.base = base
+        self.total_lines = max(footprint_bytes // LINE_SIZE, 1)
+        self.hot_lines = max(hot_bytes // LINE_SIZE, 1)
+        self.hot_fraction = hot_fraction
+        self.write_frac = write_frac
+
+    def next_access(self, rng: XorShift64) -> Tuple[int, bool]:
+        if rng.next_bool(self.hot_fraction):
+            line = rng.next_below(self.hot_lines)
+        else:
+            line = rng.next_below(self.total_lines)
+        is_write = self.write_frac > 0 and rng.next_bool(self.write_frac)
+        return self.base + line * LINE_SIZE, is_write
+
+
+class ScanPattern(Pattern):
+    """Page-granular scans: touch every line of a page, move on.
+
+    The best case for GWS — maximal region locality — and the pattern
+    behind nekbone/libquantum-style accuracy in Figure 7.
+    """
+
+    name = "scan"
+
+    def __init__(self, base: int, num_pages: int):
+        if num_pages < 1:
+            raise WorkloadError("need at least one page to scan")
+        self.base = base
+        self.num_pages = num_pages
+        self._page = 0
+        self._line = 0
+
+    def next_access(self, rng: XorShift64) -> Tuple[int, bool]:
+        addr = self.base + self._page * PAGE_SIZE + self._line * LINE_SIZE
+        self._line += 1
+        if self._line == PAGE_SIZE // LINE_SIZE:
+            self._line = 0
+            self._page = (self._page + 1) % self.num_pages
+        return addr, False
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase: a pattern active for a number of accesses."""
+
+    pattern: Pattern
+    accesses: int
+
+    def __post_init__(self):
+        if self.accesses < 1:
+            raise WorkloadError("a phase needs at least one access")
+
+
+class PhasedWorkload:
+    """Concatenate phases into a single trace, optionally repeating."""
+
+    def __init__(self, phases: Sequence[Phase], seed: int = 1,
+                 instructions_per_access: float = 50.0):
+        if not phases:
+            raise WorkloadError("need at least one phase")
+        self.phases = list(phases)
+        self.seed = seed
+        self.instructions_per_access = instructions_per_access
+
+    def generate(self, repeats: int = 1, name: str = "phased") -> Trace:
+        if repeats < 1:
+            raise WorkloadError("repeats must be >= 1")
+        rng = XorShift64(self.seed)
+        addrs: List[int] = []
+        writes = bytearray()
+        for _ in range(repeats):
+            for phase in self.phases:
+                for _ in range(phase.accesses):
+                    addr, is_write = phase.pattern.next_access(rng)
+                    addrs.append(addr)
+                    writes.append(1 if is_write else 0)
+        return Trace(name, addrs, writes, self.instructions_per_access)
+
+
+def interleave(
+    patterns: Sequence[Pattern],
+    total_accesses: int,
+    seed: int = 1,
+    weights: Optional[Sequence[float]] = None,
+    instructions_per_access: float = 50.0,
+    name: str = "interleaved",
+) -> Trace:
+    """Probabilistically interleave patterns (multi-threaded behaviour)."""
+    if not patterns:
+        raise WorkloadError("need at least one pattern")
+    if total_accesses < 1:
+        raise WorkloadError("need at least one access")
+    if weights is None:
+        weights = [1.0] * len(patterns)
+    if len(weights) != len(patterns) or any(w <= 0 for w in weights):
+        raise WorkloadError("weights must be positive, one per pattern")
+    total_weight = sum(weights)
+    cumulative = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total_weight
+        cumulative.append(running)
+
+    rng = XorShift64(seed)
+    addrs: List[int] = []
+    writes = bytearray()
+    for _ in range(total_accesses):
+        pick = rng.next_float()
+        index = next(i for i, edge in enumerate(cumulative) if pick <= edge)
+        addr, is_write = patterns[index].next_access(rng)
+        addrs.append(addr)
+        writes.append(1 if is_write else 0)
+    return Trace(name, addrs, writes, instructions_per_access)

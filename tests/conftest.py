@@ -1,0 +1,34 @@
+"""Shared fixtures: small geometries and deterministic RNGs."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.utils.rng import XorShift64
+
+
+@pytest.fixture
+def geom_dm():
+    """Tiny direct-mapped geometry: 8KB, 64B lines -> 128 sets."""
+    return CacheGeometry(8 * 1024, 1)
+
+
+@pytest.fixture
+def geom_2way():
+    """Tiny 2-way geometry: 8KB -> 64 sets x 2 ways."""
+    return CacheGeometry(8 * 1024, 2)
+
+
+@pytest.fixture
+def geom_8way():
+    """Tiny 8-way geometry: 32KB -> 64 sets x 8 ways."""
+    return CacheGeometry(32 * 1024, 8)
+
+
+@pytest.fixture
+def rng():
+    return XorShift64(1234)
+
+
+def make_addr(geometry: CacheGeometry, set_index: int, tag: int) -> int:
+    """Byte address mapping to (set_index, tag) in the given geometry."""
+    return geometry.addr_of(set_index, tag)

@@ -1,0 +1,104 @@
+"""Calibration regression tests.
+
+Locks the workload-catalog tuning: each rate-mode workload's
+direct-mapped hit-rate and its qualitative associativity sensitivity
+must stay inside bands. If a generator or spec change shifts behaviour,
+these fail before the experiment outputs silently drift.
+
+Marked slow: run the full 17-workload sweep only when needed.
+"""
+
+import pytest
+
+from repro.core.accord import AccordDesign
+from repro.params.system import scaled_system
+from repro.sim.runner import TraceFactory, run_design
+from repro.workloads.spec import rate_mode_specs
+
+ACCESSES = 100_000
+SEED = 7
+
+# Direct-mapped hit-rate bands at 100k accesses (wider than the
+# calibration targets: shorter traces are colder).
+DM_BANDS = {
+    "soplex": (0.35, 0.60),
+    "leslie": (0.45, 0.70),
+    "libq": (0.55, 0.85),
+    "gcc": (0.55, 0.80),
+    "zeusmp": (0.60, 0.85),
+    "wrf": (0.60, 0.85),
+    "omnet": (0.55, 0.80),
+    "xalanc": (0.65, 0.88),
+    "mcf": (0.40, 0.65),
+    "sphinx": (0.90, 1.00),
+    "milc": (0.48, 0.72),
+    "pr_twi": (0.42, 0.68),
+    "cc_twi": (0.42, 0.68),
+    "bc_twi": (0.42, 0.68),
+    "pr_web": (0.50, 0.75),
+    "cc_web": (0.50, 0.76),
+    "nekbone": (0.82, 1.00),
+}
+
+# Workloads whose idealized 8-way hit-rate must visibly exceed DM.
+SENSITIVE = ["soplex", "leslie", "libq", "gcc"]
+INSENSITIVE = ["sphinx", "milc", "nekbone"]
+
+
+@pytest.fixture(scope="module")
+def dm_results():
+    config = scaled_system(ways=1)
+    traces = TraceFactory(config, ACCESSES, seed=SEED)
+    return {
+        spec.name: run_design(
+            AccordDesign(kind="direct", ways=1), spec.name,
+            config=config, traces=traces, num_accesses=ACCESSES,
+        )
+        for spec in rate_mode_specs()
+    }
+
+
+@pytest.mark.slow
+class TestCalibration:
+    def test_dm_hit_rates_in_band(self, dm_results):
+        failures = []
+        for name, (lo, hi) in DM_BANDS.items():
+            hit = dm_results[name].hit_rate
+            if not lo <= hit <= hi:
+                failures.append(f"{name}: {hit:.3f} not in [{lo}, {hi}]")
+        assert not failures, "; ".join(failures)
+
+    def test_sensitive_workloads_gain_from_associativity(self, dm_results):
+        config = scaled_system(ways=8)
+        traces = TraceFactory(scaled_system(ways=1), ACCESSES, seed=SEED)
+        for name in SENSITIVE:
+            ideal = run_design(
+                AccordDesign(kind="ideal", ways=8), name,
+                config=config, traces=traces, num_accesses=ACCESSES,
+            )
+            gain = ideal.hit_rate - dm_results[name].hit_rate
+            assert gain > 0.04, f"{name}: gain {gain:.3f} too small"
+
+    def test_insensitive_workloads_flat(self, dm_results):
+        config = scaled_system(ways=8)
+        traces = TraceFactory(scaled_system(ways=1), ACCESSES, seed=SEED)
+        for name in INSENSITIVE:
+            ideal = run_design(
+                AccordDesign(kind="ideal", ways=8), name,
+                config=config, traces=traces, num_accesses=ACCESSES,
+            )
+            gain = ideal.hit_rate - dm_results[name].hit_rate
+            assert gain < 0.03, f"{name}: gain {gain:.3f} too large"
+
+    def test_potential_ordering_tracks_paper(self, dm_results):
+        """soplex must be the most sensitive workload, as in Table IV."""
+        config = scaled_system(ways=8)
+        traces = TraceFactory(scaled_system(ways=1), ACCESSES, seed=SEED)
+        gains = {}
+        for name in ("soplex", "xalanc", "sphinx"):
+            ideal = run_design(
+                AccordDesign(kind="ideal", ways=8), name,
+                config=config, traces=traces, num_accesses=ACCESSES,
+            )
+            gains[name] = ideal.hit_rate - dm_results[name].hit_rate
+        assert gains["soplex"] > gains["xalanc"] > gains["sphinx"] - 0.005

@@ -1,0 +1,71 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.utils.charts import bar_chart, histogram, sparkline
+
+
+class TestBarChart:
+    def test_simple_bars(self):
+        out = bar_chart({"a": 1.0, "bb": 2.0}, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a ")
+        # The larger value gets the longer bar.
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_values_printed(self):
+        out = bar_chart({"x": 1.2345})
+        assert "1.234" in out or "1.235" in out
+
+    def test_diverging_mode(self):
+        out = bar_chart({"up": 1.2, "down": 0.8}, baseline=1.0)
+        up_line = next(l for l in out.splitlines() if l.startswith("up"))
+        down_line = next(l for l in out.splitlines() if l.startswith("down"))
+        assert "#" in up_line and "#" not in down_line
+        assert "-" in down_line
+
+    def test_diverging_equal_to_baseline(self):
+        out = bar_chart({"flat": 1.0}, baseline=1.0)
+        assert "#" not in out and "-" not in out.splitlines()[-1].split("|")[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=5)
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0})
+
+
+class TestSparkline:
+    def test_monotone(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_flat(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        out = histogram([1, 1, 1, 9], bins=2, title="H")
+        lines = out.splitlines()
+        assert lines[0] == "H"
+        assert lines[1].endswith("3")
+        assert lines[2].endswith("1")
+
+    def test_single_value(self):
+        out = histogram([2.0, 2.0], bins=3)
+        assert "2" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([])
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)

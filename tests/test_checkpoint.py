@@ -1,0 +1,95 @@
+"""Tests for cache-state checkpointing."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.accord import AccordDesign, make_design
+from repro.errors import SimulationError
+from repro.sim.checkpoint import CacheCheckpoint
+
+
+def warmed_cache(seed=3):
+    cache = make_design(
+        AccordDesign(kind="accord", ways=2), CacheGeometry(256 * 1024, 2), seed=seed
+    )
+    for i in range(3000):
+        cache.read((i * 7 % 2000) * 64)
+        if i % 5 == 0:
+            cache.writeback((i * 7 % 2000) * 64)
+    return cache
+
+
+class TestCaptureRestore:
+    def test_roundtrip_preserves_residency(self):
+        source = warmed_cache()
+        checkpoint = CacheCheckpoint.capture(source)
+        target = make_design(
+            AccordDesign(kind="accord", ways=2), CacheGeometry(256 * 1024, 2), seed=9
+        )
+        restored = checkpoint.restore(target)
+        assert restored == len(checkpoint.entries) > 0
+        # Every line resident in the source is resident in the target,
+        # in the same way, with the same dirty bit.
+        for set_index, way, tag, dirty in checkpoint.entries:
+            assert target.store.tag_at(set_index, way) == tag
+            assert target.store.is_dirty(set_index, way) == bool(dirty)
+
+    def test_junk_lines_excluded(self):
+        cache = make_design(
+            AccordDesign(kind="accord", ways=2), CacheGeometry(64 * 1024, 2)
+        )
+        cache.read(0)
+        checkpoint = CacheCheckpoint.capture(cache)
+        assert len(checkpoint.entries) == 1  # only the real line
+
+    def test_dcp_rebuilt(self):
+        source = warmed_cache()
+        checkpoint = CacheCheckpoint.capture(source)
+        target = make_design(
+            AccordDesign(kind="accord", ways=2), CacheGeometry(256 * 1024, 2)
+        )
+        checkpoint.restore(target)
+        set_index, way, tag, _ = checkpoint.entries[0]
+        addr = target.geometry.addr_of(set_index, tag)
+        # A writeback to a restored line must not bypass.
+        assert target.writeback(addr)
+
+    def test_geometry_mismatch_rejected(self):
+        checkpoint = CacheCheckpoint.capture(warmed_cache())
+        other = make_design(
+            AccordDesign(kind="accord", ways=2), CacheGeometry(128 * 1024, 2)
+        )
+        with pytest.raises(SimulationError):
+            checkpoint.restore(other)
+
+    def test_warm_start_improves_hit_rate(self):
+        source = warmed_cache()
+        checkpoint = CacheCheckpoint.capture(source)
+        cold = make_design(
+            AccordDesign(kind="accord", ways=2), CacheGeometry(256 * 1024, 2), seed=4
+        )
+        warm = make_design(
+            AccordDesign(kind="accord", ways=2), CacheGeometry(256 * 1024, 2), seed=4
+        )
+        checkpoint.restore(warm)
+        for i in range(2000):
+            addr = (i * 7 % 2000) * 64
+            cold.read(addr)
+            warm.read(addr)
+        assert warm.stats.hit_rate > cold.stats.hit_rate
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        checkpoint = CacheCheckpoint.capture(warmed_cache())
+        path = str(tmp_path / "cache.ckpt")
+        checkpoint.save(path)
+        loaded = CacheCheckpoint.load(path)
+        assert loaded.entries == checkpoint.entries
+        assert loaded.capacity_bytes == checkpoint.capacity_bytes
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(SimulationError):
+            CacheCheckpoint.load(str(path))

@@ -1,0 +1,39 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments import EXPERIMENT_MODULES
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENT_MODULES:
+            assert name in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "4GB" in out
+        assert "128 GB/s" in out
+
+    def test_run_analytic_experiment(self, capsys):
+        assert main(["run", "table1_lookup_cost"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_run_simulated_experiment_quick(self, capsys):
+        assert main(["run", "table6_hitrate", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "PWS+GWS" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "not_an_experiment"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,33 @@
+"""Tests for the DCP (DRAM-cache presence + way) directory."""
+
+from repro.cache.dcp import DcpDirectory
+
+
+class TestDcp:
+    def test_insert_lookup_remove(self):
+        dcp = DcpDirectory()
+        assert dcp.lookup(100) is None
+        dcp.insert(100, 3)
+        assert dcp.lookup(100) == 3
+        dcp.remove(100)
+        assert dcp.lookup(100) is None
+
+    def test_remove_missing_is_noop(self):
+        dcp = DcpDirectory()
+        dcp.remove(42)  # must not raise
+        assert len(dcp) == 0
+
+    def test_update_way(self):
+        dcp = DcpDirectory()
+        dcp.insert(100, 1)
+        dcp.insert(100, 2)
+        assert dcp.lookup(100) == 2
+        assert len(dcp) == 1
+
+    def test_hit_rate(self):
+        dcp = DcpDirectory()
+        dcp.insert(1, 0)
+        dcp.lookup(1)
+        dcp.lookup(2)
+        assert dcp.hit_rate() == 0.5
+        assert DcpDirectory().hit_rate() == 0.0

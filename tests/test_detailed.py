@@ -1,0 +1,156 @@
+"""Tests for the cycle-level detailed engine, including cross-validation
+against the interval model's latency components."""
+
+import pytest
+
+from repro.core.accord import AccordDesign, make_design
+from repro.cache.geometry import CacheGeometry
+from repro.params.system import scaled_system
+from repro.sim.detailed import DetailedEngine
+from repro.sim.trace import trace_from_arrays
+from repro.errors import SimulationError
+
+
+def small_config():
+    return scaled_system(ways=1, scale=1.0 / 1024.0)  # 4MB cache
+
+
+def make_engine(kind="direct", ways=1, window=8):
+    config = scaled_system(ways=ways, scale=1.0 / 1024.0)
+    geometry = CacheGeometry(config.dram_cache.capacity_bytes, ways)
+    cache = make_design(AccordDesign(kind=kind, ways=ways), geometry, seed=5)
+    return DetailedEngine(config, cache, window=window), cache
+
+
+class TestReplay:
+    def test_replay_advances_time(self):
+        engine, cache = make_engine()
+        trace = trace_from_arrays("t", [i * 64 for i in range(200)], [0] * 200, 40.0)
+        result = engine.replay(trace)
+        assert result.total_ns > 0
+        assert result.demand_reads == 200
+        assert result.nvm_reads == cache.stats.nvm_reads
+
+    def test_hits_faster_than_misses(self):
+        engine, cache = make_engine()
+        addrs = [i * 64 for i in range(100)]
+        # A slow issue rate isolates per-request latency from queueing;
+        # the warm pass uses a fresh engine (device clocks restart) but
+        # the now-filled cache.
+        cold = trace_from_arrays("cold", addrs, [0] * 100, 40.0)
+        cold_result = engine.replay(cold, issue_interval_ns=1000.0)
+        warm_engine = DetailedEngine(engine.config, cache)
+        warm = trace_from_arrays("warm", addrs, [0] * 100, 40.0)
+        warm_result = warm_engine.replay(warm, issue_interval_ns=1000.0)
+        assert warm_result.avg_read_latency_ns < cold_result.avg_read_latency_ns
+
+    def test_writebacks_handled(self):
+        engine, cache = make_engine()
+        addrs = [0, 0, 64]
+        writes = [0, 1, 1]  # read 0, write back 0 (resident), write 64 (absent)
+        trace = trace_from_arrays("wb", addrs, writes, 40.0)
+        engine.replay(trace)
+        assert cache.stats.writeback_direct == 1
+        assert cache.stats.writeback_bypass == 1
+
+    def test_row_hit_rate_reported(self):
+        engine, _ = make_engine()
+        # Repeated access to one set's row drives the row hit rate up.
+        trace = trace_from_arrays("rh", [0] * 50, [0] * 50, 40.0)
+        result = engine.replay(trace)
+        assert result.dram_row_hit_rate > 0.8
+
+    def test_window_validation(self):
+        with pytest.raises(SimulationError):
+            make_engine(window=0)
+
+    def test_window_limits_overlap(self):
+        engine1, _ = make_engine(window=1)
+        engine8, _ = make_engine(window=8)
+        addrs = [i * 64 * 33 for i in range(300)]  # scattered (bank parallel)
+        t1 = engine1.replay(trace_from_arrays("w1", addrs, [0] * 300, 40.0))
+        t8 = engine8.replay(trace_from_arrays("w8", addrs, [0] * 300, 40.0))
+        assert t8.total_ns <= t1.total_ns
+
+
+class TestCrossValidation:
+    def test_interval_model_brackets_detailed_hit_latency(self):
+        """For an all-hits workload the detailed average read latency
+        should be in the same regime as the interval model's hit path
+        (first probe + transfer, without queueing)."""
+        from repro.sim.timing_model import IntervalTimingModel
+
+        engine, cache = make_engine()
+        addrs = [i * 64 for i in range(256)]
+        engine.replay(trace_from_arrays("fill", addrs, [0] * 256, 40.0))
+        measure_engine = DetailedEngine(engine.config, cache)
+        result = measure_engine.replay(
+            trace_from_arrays("measure", addrs, [0] * 256, 40.0),
+            issue_interval_ns=1000.0,
+        )
+
+        model = IntervalTimingModel(small_config())
+        floor = model.extra_probe_ns  # best case: open row CAS
+        ceiling = 4 * (model.first_probe_ns + model.dram_service_ns)
+        assert floor <= result.avg_read_latency_ns <= ceiling
+
+    def test_miss_latency_dominated_by_nvm(self):
+        engine, _ = make_engine()
+        addrs = [i * 64 for i in range(256)]  # all cold misses
+        result = engine.replay(
+            trace_from_arrays("cold", addrs, [0] * 256, 40.0),
+            issue_interval_ns=1000.0,
+        )
+        config = small_config()
+        assert result.avg_read_latency_ns >= config.nvm_timing.read_ns
+
+
+class TestRefresh:
+    def test_refresh_controller_blocks_banks(self):
+        from repro.mem.bank import Bank, RefreshController
+        from repro.params.timing import DramTiming
+
+        controller = RefreshController(t_refi_ns=100.0, t_rfc_ns=20.0)
+        banks = [Bank(DramTiming()) for _ in range(2)]
+        banks[0].access(5, 0.0)
+        # Before tREFI nothing happens.
+        assert controller.apply(banks, 50.0) == 50.0
+        assert controller.refreshes == 0
+        # After tREFI the banks are blocked for tRFC and rows closed.
+        blocked_until = controller.apply(banks, 120.0)
+        assert blocked_until == pytest.approx(140.0)
+        assert controller.refreshes == 1
+        assert banks[0].open_row == -1
+        assert all(b.busy_until_ns >= 140.0 for b in banks)
+
+    def test_refresh_validation(self):
+        from repro.mem.bank import RefreshController
+
+        with pytest.raises(ValueError):
+            RefreshController(t_refi_ns=0)
+        with pytest.raises(ValueError):
+            RefreshController(t_refi_ns=10, t_rfc_ns=20)
+
+    def test_engine_with_refresh_slower(self):
+        from repro.mem.bank import RefreshController
+
+        engine_plain, _ = make_engine()
+        addrs = [i * 64 for i in range(400)]
+        plain = engine_plain.replay(
+            trace_from_arrays("p", addrs, [0] * 400, 40.0),
+            issue_interval_ns=50.0,
+        )
+        config = scaled_system(ways=1, scale=1.0 / 1024.0)
+        from repro.cache.geometry import CacheGeometry
+        from repro.core.accord import AccordDesign, make_design
+
+        geometry = CacheGeometry(config.dram_cache.capacity_bytes, 1)
+        cache = make_design(AccordDesign(kind="direct", ways=1), geometry, seed=5)
+        engine_refresh = DetailedEngine(
+            config, cache, refresh=RefreshController(t_refi_ns=500.0, t_rfc_ns=100.0)
+        )
+        refreshed = engine_refresh.replay(
+            trace_from_arrays("r", addrs, [0] * 400, 40.0),
+            issue_interval_ns=50.0,
+        )
+        assert refreshed.total_ns >= plain.total_ns

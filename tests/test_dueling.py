@@ -1,0 +1,120 @@
+"""Tests for the set-dueling adaptive-PIP extension."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import RandomReplacement
+from repro.cache.storage import TagStore
+from repro.core.accord import AccordDesign, make_design
+from repro.core.dueling import PSEL_BITS, DuelingPwsSteering
+from repro.errors import PolicyError
+from repro.utils.rng import XorShift64
+
+
+@pytest.fixture
+def geom():
+    return CacheGeometry(64 * 1024, 2)  # 512 sets
+
+
+class TestLeaderDecode:
+    def test_leader_groups_disjoint(self, geom):
+        steering = DuelingPwsSteering(geom)
+        low = {s for s in range(geom.num_sets) if steering.is_low_leader(s)}
+        high = {s for s in range(geom.num_sets) if steering.is_high_leader(s)}
+        assert low and high
+        assert not (low & high)
+        assert len(low) == len(high)  # balanced duel
+
+    def test_most_sets_are_followers(self, geom):
+        steering = DuelingPwsSteering(geom)
+        leaders = sum(
+            steering.is_low_leader(s) or steering.is_high_leader(s)
+            for s in range(geom.num_sets)
+        )
+        assert leaders / geom.num_sets < 0.10
+
+
+class TestPselDynamics:
+    def test_low_leader_misses_push_toward_high(self, geom):
+        steering = DuelingPwsSteering(geom)
+        low_leader = next(
+            s for s in range(geom.num_sets) if steering.is_low_leader(s)
+        )
+        for _ in range(steering.psel_max):
+            steering.observe_miss(low_leader)
+        assert steering.psel == 0
+        assert not steering.followers_use_low
+
+    def test_high_leader_misses_push_toward_low(self, geom):
+        steering = DuelingPwsSteering(geom)
+        high_leader = next(
+            s for s in range(geom.num_sets) if steering.is_high_leader(s)
+        )
+        for _ in range(steering.psel_max):
+            steering.observe_miss(high_leader)
+        assert steering.psel == steering.psel_max
+        assert steering.followers_use_low
+
+    def test_followers_ignore_psel_updates(self, geom):
+        steering = DuelingPwsSteering(geom)
+        follower = next(
+            s for s in range(geom.num_sets)
+            if not steering.is_low_leader(s) and not steering.is_high_leader(s)
+        )
+        before = steering.psel
+        steering.observe_miss(follower)
+        assert steering.psel == before
+
+    def test_current_pip_switches_with_psel(self, geom):
+        steering = DuelingPwsSteering(geom, pip_low=0.7, pip_high=0.95)
+        follower = 1  # not a leader (leaders are multiples of 32)
+        high_leader = next(
+            s for s in range(geom.num_sets) if steering.is_high_leader(s)
+        )
+        steering.psel = steering.psel_max
+        assert steering.current_pip(follower) == 0.7
+        steering.psel = 0
+        assert steering.current_pip(follower) == 0.95
+        # Leaders never switch.
+        assert steering.current_pip(high_leader) == 0.95
+
+
+class TestInstallPath:
+    def test_installs_stay_in_candidates(self, geom):
+        steering = DuelingPwsSteering(geom, rng=XorShift64(4))
+        store = TagStore(geom)
+        replacement = RandomReplacement(XorShift64(5))
+        for tag in range(500):
+            way = steering.choose_install_way(1, tag, tag * 4096, store, replacement)
+            assert way in (0, 1)
+
+    def test_storage_is_psel_only(self, geom):
+        assert DuelingPwsSteering(geom).storage_bits() == PSEL_BITS
+
+    def test_validation(self, geom):
+        with pytest.raises(PolicyError):
+            DuelingPwsSteering(geom, pip_low=0.9, pip_high=0.8)
+        with pytest.raises(PolicyError):
+            DuelingPwsSteering(CacheGeometry(2 * 1024, 2))  # too few sets
+
+
+class TestFactoryIntegration:
+    def test_design_builds_and_runs(self, geom):
+        cache = make_design(AccordDesign(kind="dueling", ways=2), geom, seed=3)
+        for i in range(2000):
+            cache.read((i % 300) * 64)
+        assert cache.stats.hits > 0
+        # GWS tables (320B) + PSEL (10 bits, rounded into the total).
+        assert cache.storage_overhead_bits() == 2 * 64 * 20 + PSEL_BITS
+
+    def test_dcp_modes_in_design(self, geom):
+        for mode in ("exact", "finite", "none"):
+            cache = make_design(
+                AccordDesign(kind="accord", ways=2, dcp=mode), geom, seed=3
+            )
+            cache.read(0x1000)
+            assert cache.writeback(0x1000)
+
+    def test_unknown_dcp_mode_rejected(self, geom):
+        with pytest.raises(PolicyError):
+            make_design(AccordDesign(kind="accord", ways=2, dcp="bogus"), geom)

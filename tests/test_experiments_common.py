@@ -1,0 +1,47 @@
+"""Tests for the shared experiment machinery (Settings, parse_args)."""
+
+import pytest
+
+from repro.experiments.common import Settings, baseline_design, parse_args
+from repro.workloads.spec import main_suite
+
+
+class TestSettings:
+    def test_defaults(self):
+        settings = Settings()
+        assert settings.num_accesses == 200_000
+        assert settings.suite == main_suite()
+        assert 0.0 <= settings.warmup < 1.0
+
+    def test_quick_shrinks(self):
+        quick = Settings().quick()
+        assert quick.num_accesses < Settings().num_accesses
+        assert len(quick.suite) < len(main_suite())
+
+    def test_quick_does_not_mutate_original(self):
+        settings = Settings()
+        settings.quick()
+        assert settings.num_accesses == 200_000
+
+
+class TestParseArgs:
+    def test_defaults(self):
+        settings = parse_args("d", [])
+        assert settings.num_accesses == 200_000
+        assert settings.seed == 7
+
+    def test_accesses_and_seed(self):
+        settings = parse_args("d", ["--accesses", "5000", "--seed", "3"])
+        assert settings.num_accesses == 5000
+        assert settings.seed == 3
+
+    def test_quick_flag(self):
+        settings = parse_args("d", ["--quick"])
+        assert len(settings.suite) == 4
+
+
+class TestBaseline:
+    def test_baseline_is_direct_mapped(self):
+        design = baseline_design()
+        assert design.kind == "direct"
+        assert design.ways == 1

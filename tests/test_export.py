@@ -1,0 +1,67 @@
+"""Tests for CSV export/import of experiment series."""
+
+import pytest
+
+from repro.analysis.export import (
+    load_series_csv,
+    runs_to_csv,
+    save_series_csv,
+    series_to_csv,
+)
+from repro.errors import SimulationError
+
+
+SERIES = {
+    "ACCORD": {"soplex": 1.078, "milc": 0.968},
+    "Perfect": {"soplex": 1.078, "milc": 0.976},
+}
+
+
+class TestSeriesCsv:
+    def test_tidy_layout(self):
+        text = series_to_csv(SERIES, value_name="speedup")
+        lines = text.strip().splitlines()
+        assert lines[0] == "workload,series,speedup"
+        # milc precedes soplex (paper figure order).
+        assert lines[1].startswith("milc,ACCORD")
+        assert any(line.startswith("soplex,Perfect") for line in lines)
+
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "series.csv")
+        save_series_csv(SERIES, path)
+        loaded = load_series_csv(path)
+        assert loaded == SERIES
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope,nope\n")
+        with pytest.raises(SimulationError):
+            load_series_csv(str(path))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            series_to_csv({})
+
+
+class TestRunsCsv:
+    def test_export_run_results(self):
+        from repro.core.accord import AccordDesign
+        from repro.params.system import scaled_system
+        from repro.sim.runner import run_suite
+
+        config = scaled_system(ways=2, scale=1.0 / 1024.0)
+        results = run_suite(
+            AccordDesign(kind="accord", ways=2), ["sphinx"],
+            config=config, num_accesses=10_000,
+        )
+        text = runs_to_csv(results)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("workload,hit_rate")
+        assert lines[1].startswith("sphinx,")
+        # Values parse back as floats.
+        fields = lines[1].split(",")
+        assert 0.0 <= float(fields[1]) <= 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            runs_to_csv({})

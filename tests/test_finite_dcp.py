@@ -1,0 +1,81 @@
+"""Tests for the finite (L3-co-located) DCP directory and its effect on
+the writeback path."""
+
+import pytest
+
+from repro.cache.dcp import DcpDirectory, FiniteDcpDirectory
+from repro.cache.dram_cache import DramCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.lookup import WayPredictedLookup
+from repro.core.prediction import StaticPreferredPredictor
+from repro.core.steering import UnbiasedSteering
+
+
+class TestFiniteDirectory:
+    def test_lru_capacity(self):
+        dcp = FiniteDcpDirectory(capacity=2)
+        dcp.insert(1, 0)
+        dcp.insert(2, 1)
+        dcp.insert(3, 0)  # evicts line 1
+        assert dcp.lookup(1) is None
+        assert dcp.lookup(2) == 1
+        assert dcp.capacity_evictions == 1
+
+    def test_lookup_refreshes(self):
+        dcp = FiniteDcpDirectory(capacity=2)
+        dcp.insert(1, 0)
+        dcp.insert(2, 1)
+        dcp.lookup(1)
+        dcp.insert(3, 0)  # evicts 2, not 1
+        assert dcp.lookup(1) == 0
+        assert dcp.lookup(2) is None
+
+    def test_not_authoritative(self):
+        assert FiniteDcpDirectory.authoritative is False
+        assert DcpDirectory.authoritative is True
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FiniteDcpDirectory(capacity=0)
+
+
+def make_cache(dcp):
+    geometry = CacheGeometry(64 * 1024, 2)
+    return DramCache(
+        geometry,
+        lookup=WayPredictedLookup(),
+        steering=UnbiasedSteering(geometry),
+        predictor=StaticPreferredPredictor(geometry),
+        dcp=dcp,
+    )
+
+
+class TestWritebackWithFiniteDcp:
+    def test_forgotten_line_is_probed_and_found(self):
+        dcp = FiniteDcpDirectory(capacity=4)
+        cache = make_cache(dcp)
+        cache.read(0x1000)
+        # Push the entry out of the tiny directory.
+        for i in range(8):
+            cache.read(0x100000 + i * 64)
+        assert dcp.lookup(cache.geometry.line_addr(0x1000)) is None
+        dcp.lookups = dcp.hits = 0
+
+        absorbed = cache.writeback(0x1000)
+        assert absorbed
+        assert cache.stats.writeback_probe_accesses >= 1
+        # The probe re-learned the way.
+        assert dcp.lookup(cache.geometry.line_addr(0x1000)) is not None
+
+    def test_truly_absent_line_bypasses_after_probe(self):
+        cache = make_cache(FiniteDcpDirectory(capacity=4))
+        assert not cache.writeback(0x9000)
+        assert cache.stats.writeback_bypass == 1
+        assert cache.stats.writeback_probe_accesses == 2  # both ways checked
+
+    def test_exact_dcp_never_probes(self):
+        cache = make_cache(DcpDirectory())
+        cache.read(0x1000)
+        cache.writeback(0x1000)
+        assert not cache.writeback(0x9000)
+        assert cache.stats.writeback_probe_accesses == 0

@@ -1,0 +1,144 @@
+"""Unit tests for Ganged Way-Steering (RIT/RLT)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import RandomReplacement
+from repro.cache.storage import TagStore
+from repro.core.gws import (
+    GangedWayPredictor,
+    GangedWaySteering,
+    RecentRegionTable,
+)
+from repro.core.prediction import StaticPreferredPredictor
+from repro.core.pws import ProbabilisticWaySteering
+from repro.errors import PolicyError
+from repro.utils.rng import XorShift64
+
+
+class TestRecentRegionTable:
+    def test_miss_then_hit(self):
+        table = RecentRegionTable(entries=4)
+        assert table.lookup(10) is None
+        table.record(10, 1)
+        assert table.lookup(10) == 1
+        assert table.hits == 1 and table.misses == 1
+
+    def test_lru_eviction(self):
+        table = RecentRegionTable(entries=2)
+        table.record(1, 0)
+        table.record(2, 1)
+        table.record(3, 0)  # evicts region 1
+        assert table.lookup(1) is None
+        assert table.lookup(2) == 1
+        assert table.lookup(3) == 0
+
+    def test_lookup_refreshes_recency(self):
+        table = RecentRegionTable(entries=2)
+        table.record(1, 0)
+        table.record(2, 1)
+        table.lookup(1)  # 1 becomes MRU
+        table.record(3, 0)  # evicts 2, not 1
+        assert table.lookup(1) == 0
+        assert table.lookup(2) is None
+
+    def test_update_existing(self):
+        table = RecentRegionTable(entries=2)
+        table.record(1, 0)
+        table.record(1, 1)
+        assert table.lookup(1) == 1
+        assert len(table) == 1
+
+    def test_storage_paper_number(self):
+        # 64 entries x (1 valid + 18 tag + 1 way) = 1280 bits = 160B;
+        # RIT + RLT together = 320B (Table IX).
+        table = RecentRegionTable(entries=64)
+        assert table.storage_bits(2) == 64 * 20
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(PolicyError):
+            RecentRegionTable(entries=0)
+
+
+@pytest.fixture
+def geom():
+    return CacheGeometry(64 * 1024, 2)  # 512 sets so regions span many sets
+
+
+class TestGangedSteering:
+    def test_region_lines_follow_first_install(self, geom):
+        steering = GangedWaySteering(
+            geom, fallback=ProbabilisticWaySteering(geom, rng=XorShift64(1))
+        )
+        store = TagStore(geom)
+        replacement = RandomReplacement(XorShift64(2))
+        region_base = 0x40000  # 4KB-aligned
+        ways = set()
+        for line in range(16):
+            addr = region_base + line * 64
+            set_index, tag = geom.split(addr)
+            way = steering.choose_install_way(set_index, tag, addr, store, replacement)
+            steering.on_install(set_index, tag, addr, way)
+            ways.add(way)
+        assert len(ways) == 1  # whole region ganged to one way
+
+    def test_different_regions_can_differ(self, geom):
+        steering = GangedWaySteering(
+            geom, fallback=ProbabilisticWaySteering(geom, pip=0.5, rng=XorShift64(3))
+        )
+        store = TagStore(geom)
+        replacement = RandomReplacement(XorShift64(2))
+        region_ways = set()
+        for region in range(64):
+            addr = region * 4096
+            set_index, tag = geom.split(addr)
+            way = steering.choose_install_way(set_index, tag, addr, store, replacement)
+            steering.on_install(set_index, tag, addr, way)
+            region_ways.add(way)
+        assert region_ways == {0, 1}
+
+    def test_storage_totals_320_bytes(self, geom):
+        steering = GangedWaySteering(geom)
+        predictor = GangedWayPredictor(geom)
+        total_bits = steering.storage_bits() + predictor.storage_bits()
+        assert total_bits == 2 * 64 * 20  # 320 bytes
+
+    def test_mismatched_fallback_rejected(self, geom):
+        other = CacheGeometry(64 * 1024, 4)
+        with pytest.raises(PolicyError):
+            GangedWaySteering(geom, fallback=ProbabilisticWaySteering(other))
+
+
+class TestGangedPredictor:
+    def test_predicts_last_way_seen(self, geom):
+        predictor = GangedWayPredictor(geom)
+        addr = 0x8000
+        set_index, tag = geom.split(addr)
+        predictor.on_access(set_index, tag, addr, way=1, hit=True)
+        # Another line of the same 4KB region predicts way 1.
+        addr2 = addr + 128
+        set2, tag2 = geom.split(addr2)
+        assert predictor.predict(set2, tag2, addr2) == 1
+
+    def test_install_updates_rlt(self, geom):
+        predictor = GangedWayPredictor(geom)
+        addr = 0x8000
+        set_index, tag = geom.split(addr)
+        predictor.on_install(set_index, tag, addr, way=0)
+        assert predictor.predict(set_index, tag, addr + 64) == 0
+
+    def test_falls_back_on_unknown_region(self, geom):
+        fallback = StaticPreferredPredictor(geom)
+        predictor = GangedWayPredictor(geom, fallback=fallback)
+        addr = 0xFF000
+        set_index, tag = geom.split(addr)
+        assert predictor.predict(set_index, tag, addr) == fallback.predict(
+            set_index, tag, addr
+        )
+
+    def test_misses_do_not_pollute_rlt(self, geom):
+        predictor = GangedWayPredictor(geom)
+        addr = 0x8000
+        set_index, tag = geom.split(addr)
+        predictor.on_access(set_index, tag, addr, way=None, hit=False)
+        assert len(predictor.rlt) == 0

@@ -1,0 +1,140 @@
+"""Integration tests: paper-level claims verified end-to-end on small
+configurations.
+
+These are the "does the reproduction reproduce" tests: each asserts a
+qualitative result from the paper using the real stack (generator ->
+cache -> timing model), at sizes small enough for CI.
+"""
+
+import pytest
+
+from repro.core.accord import AccordDesign
+from repro.cache.geometry import CacheGeometry
+from repro.core.accord import make_design
+from repro.params.system import scaled_system
+from repro.sim.runner import TraceFactory, run_suite, speedups_vs_baseline
+from repro.sim.runner import geometric_mean, mean_hit_rate, mean_prediction_accuracy
+from repro.workloads.cyclic import cyclic_trace, same_preferred_conflicting_addresses
+
+SCALE = 1.0 / 512.0  # 8MB cache
+ACCESSES = 60_000
+SUITE = ["soplex", "libq", "mcf", "sphinx", "leslie"]
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Run the key designs once over a mini-suite; share across tests."""
+    config = scaled_system(ways=1, scale=SCALE)
+    traces = TraceFactory(config, ACCESSES, seed=11)
+    designs = {
+        "direct": AccordDesign(kind="direct", ways=1),
+        "unbiased2": AccordDesign(kind="unbiased", ways=2),
+        "pws": AccordDesign(kind="pws", ways=2),
+        "accord": AccordDesign(kind="accord", ways=2),
+        "perfect": AccordDesign(kind="perfect", ways=2),
+        "parallel8": AccordDesign(kind="parallel", ways=8),
+        "ideal8": AccordDesign(kind="ideal", ways=8),
+        "sws82": AccordDesign(kind="sws", ways=8, hashes=2),
+        "lru2": AccordDesign(kind="unbiased", ways=2, replacement="lru"),
+    }
+    results = {}
+    for name, design in designs.items():
+        config_d = scaled_system(ways=design.ways, scale=SCALE)
+        results[name] = run_suite(
+            design, SUITE, config=config_d, traces=traces,
+            num_accesses=ACCESSES, warmup=0.5, seed=11,
+        )
+    return results
+
+
+def gmean_speedup(runs, label):
+    return geometric_mean(speedups_vs_baseline(runs[label], runs["direct"]).values())
+
+
+class TestPaperClaims:
+    def test_associativity_raises_hit_rate(self, runs):
+        """Figure 1a: hit-rate rises monotonically with associativity."""
+        assert (
+            mean_hit_rate(runs["direct"])
+            < mean_hit_rate(runs["unbiased2"])
+            <= mean_hit_rate(runs["ideal8"]) + 0.005
+        )
+
+    def test_idealized_beats_parallel(self, runs):
+        """Figure 1b/c: same hit-rate, but parallel pays bandwidth."""
+        assert gmean_speedup(runs, "ideal8") > gmean_speedup(runs, "parallel8")
+
+    def test_parallel_8way_degrades(self, runs):
+        """Figure 1b: 8-way parallel lookup loses to direct-mapped."""
+        assert gmean_speedup(runs, "parallel8") < 1.0
+
+    def test_pws_accuracy_tracks_pip(self, runs):
+        """Table V: PWS prediction accuracy ~= PIP (85%)."""
+        accuracy = mean_prediction_accuracy(runs["pws"])
+        assert 0.80 < accuracy < 0.90
+
+    def test_pws_hit_rate_close_to_unbiased(self, runs):
+        """Table V: PWS trades only a little hit-rate."""
+        assert mean_hit_rate(runs["pws"]) > mean_hit_rate(runs["unbiased2"]) - 0.02
+
+    def test_accord_accuracy_beats_pws(self, runs):
+        """Figure 7: adding GWS raises accuracy above PWS alone."""
+        assert (
+            mean_prediction_accuracy(runs["accord"])
+            > mean_prediction_accuracy(runs["pws"])
+        )
+
+    def test_accord_speedup_positive_and_near_perfect(self, runs):
+        """Figure 10: ACCORD gains and sits near the perfect-WP bound."""
+        accord = gmean_speedup(runs, "accord")
+        perfect = gmean_speedup(runs, "perfect")
+        assert accord > 1.0
+        assert accord > 0.6 * (perfect - 1.0) + 1.0 - 0.005
+
+    def test_sws_beats_2way_accord(self, runs):
+        """Figure 13 / Table VII: SWS(8,2) adds hit-rate and speedup."""
+        assert mean_hit_rate(runs["sws82"]) > mean_hit_rate(runs["accord"])
+        assert gmean_speedup(runs, "sws82") > gmean_speedup(runs, "accord")
+
+    def test_sws_hit_rate_below_full_8way(self, runs):
+        """Table VII: SWS(8,2) cannot exceed a full 8-way cache."""
+        assert mean_hit_rate(runs["sws82"]) <= mean_hit_rate(runs["ideal8"]) + 0.005
+
+    def test_lru_worse_than_random(self, runs):
+        """Section II-B.4: replacement-state writes make LRU a net loss."""
+        assert gmean_speedup(runs, "lru2") < gmean_speedup(runs, "unbiased2")
+
+    def test_accord_storage_is_320_bytes(self):
+        """Table IX at any geometry with 64-entry tables."""
+        geometry = CacheGeometry(32 * 1024 * 1024, 2)
+        cache = make_design(AccordDesign(kind="accord", ways=2), geometry)
+        assert cache.storage_overhead_bits() == 320 * 8
+
+
+class TestCyclicKernelEndToEnd:
+    """Figure 6 behaviour on the real cache."""
+
+    CAPACITY = 1 << 20
+
+    def _run(self, kind, iterations, ways=2, pip=0.85, seed=1):
+        addresses = same_preferred_conflicting_addresses(self.CAPACITY, 2, 2)
+        trace = cyclic_trace(addresses, iterations)
+        geometry = CacheGeometry(self.CAPACITY, ways)
+        design = AccordDesign(kind=kind, ways=ways, pip=pip)
+        cache = make_design(design, geometry, seed=seed)
+        for addr in trace.addrs:
+            cache.read(addr)
+        return cache.stats.hit_rate
+
+    def test_direct_mapped_thrashes(self):
+        assert self._run("direct", 64, ways=1) == 0.0
+
+    def test_pws_learns_both_ways(self):
+        rates = [self._run("pws", n, seed=3) for n in (4, 128)]
+        assert rates[1] > rates[0]
+        assert rates[1] > 0.8
+
+    def test_higher_pip_learns_slower(self):
+        low = sum(self._run("pws", 8, pip=0.6, seed=s) for s in range(8))
+        high = sum(self._run("pws", 8, pip=0.95, seed=s) for s in range(8))
+        assert high < low

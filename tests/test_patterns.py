@@ -1,0 +1,192 @@
+"""Tests for primitive access patterns and phase composition."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.utils.rng import XorShift64
+from repro.workloads.patterns import (
+    HotColdPattern,
+    Phase,
+    PhasedWorkload,
+    PointerChasePattern,
+    ScanPattern,
+    StreamPattern,
+    interleave,
+)
+
+
+@pytest.fixture
+def rng():
+    return XorShift64(3)
+
+
+class TestStream:
+    def test_sequential(self, rng):
+        pattern = StreamPattern(base=0, size_bytes=1024)
+        addrs = [pattern.next_access(rng)[0] for _ in range(4)]
+        assert addrs == [0, 64, 128, 192]
+
+    def test_wraps(self, rng):
+        pattern = StreamPattern(base=0, size_bytes=128)
+        addrs = [pattern.next_access(rng)[0] for _ in range(4)]
+        assert addrs == [0, 64, 0, 64]
+
+    def test_stride(self, rng):
+        pattern = StreamPattern(base=0, size_bytes=1024, stride_lines=4)
+        addrs = [pattern.next_access(rng)[0] for _ in range(2)]
+        assert addrs == [0, 256]
+
+    def test_writes(self, rng):
+        pattern = StreamPattern(base=0, size_bytes=1024, write_every=2)
+        flags = [pattern.next_access(rng)[1] for _ in range(4)]
+        assert flags == [False, True, False, True]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            StreamPattern(base=0, size_bytes=32)
+        with pytest.raises(WorkloadError):
+            StreamPattern(base=0, size_bytes=1024, stride_lines=0)
+
+
+class TestPointerChase:
+    def test_no_spatial_locality(self, rng):
+        pattern = PointerChasePattern(base=0, num_nodes=4096, seed=2)
+        addrs = [pattern.next_access(rng)[0] for _ in range(200)]
+        sequential = sum(
+            1 for i in range(1, 200) if addrs[i] == addrs[i - 1] + 64
+        )
+        assert sequential < 5
+
+    def test_deterministic_chain(self, rng):
+        a = PointerChasePattern(base=0, num_nodes=256, seed=9)
+        b = PointerChasePattern(base=0, num_nodes=256, seed=9)
+        assert [a.next_access(rng)[0] for _ in range(20)] == [
+            b.next_access(rng)[0] for _ in range(20)
+        ]
+
+    def test_stays_in_bounds(self, rng):
+        pattern = PointerChasePattern(base=4096, num_nodes=16, seed=1)
+        for _ in range(100):
+            addr, _ = pattern.next_access(rng)
+            assert 4096 <= addr < 4096 + 16 * 64
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PointerChasePattern(base=0, num_nodes=1)
+
+
+class TestHotCold:
+    def test_hot_bias(self, rng):
+        pattern = HotColdPattern(
+            base=0, footprint_bytes=1 << 20, hot_bytes=4096, hot_fraction=0.9
+        )
+        hot_hits = 0
+        for _ in range(2000):
+            addr, _ = pattern.next_access(rng)
+            if addr < 4096:
+                hot_hits += 1
+        assert hot_hits / 2000 > 0.85
+
+    def test_writes(self, rng):
+        pattern = HotColdPattern(
+            base=0, footprint_bytes=1 << 16, hot_bytes=4096, write_frac=0.5
+        )
+        writes = sum(pattern.next_access(rng)[1] for _ in range(2000))
+        assert 0.4 < writes / 2000 < 0.6
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            HotColdPattern(base=0, footprint_bytes=1024, hot_bytes=4096)
+        with pytest.raises(WorkloadError):
+            HotColdPattern(base=0, footprint_bytes=1 << 16, hot_bytes=64,
+                           hot_fraction=1.5)
+
+
+class TestScan:
+    def test_covers_page_then_moves(self, rng):
+        pattern = ScanPattern(base=0, num_pages=2)
+        addrs = [pattern.next_access(rng)[0] for _ in range(65)]
+        assert addrs[0] == 0
+        assert addrs[63] == 63 * 64
+        assert addrs[64] == 4096  # next page
+
+    def test_wraps_pages(self, rng):
+        pattern = ScanPattern(base=0, num_pages=1)
+        addrs = [pattern.next_access(rng)[0] for _ in range(65)]
+        assert addrs[64] == 0
+
+
+class TestPhasedWorkload:
+    def test_phases_concatenate(self):
+        workload = PhasedWorkload(
+            [
+                Phase(StreamPattern(0, 4096), accesses=10),
+                Phase(ScanPattern(1 << 20, 4), accesses=5),
+            ],
+            seed=1,
+        )
+        trace = workload.generate()
+        assert len(trace) == 15
+        assert trace.addrs[0] < 4096
+        assert trace.addrs[10] >= 1 << 20
+
+    def test_repeats(self):
+        workload = PhasedWorkload([Phase(StreamPattern(0, 4096), 10)])
+        assert len(workload.generate(repeats=3)) == 30
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload([])
+        with pytest.raises(WorkloadError):
+            Phase(StreamPattern(0, 4096), accesses=0)
+        with pytest.raises(WorkloadError):
+            PhasedWorkload([Phase(StreamPattern(0, 4096), 1)]).generate(repeats=0)
+
+
+class TestInterleave:
+    def test_mixes_sources(self):
+        trace = interleave(
+            [StreamPattern(0, 4096), StreamPattern(1 << 20, 4096)],
+            total_accesses=400,
+            seed=5,
+        )
+        low = sum(1 for a in trace.addrs if a < 1 << 20)
+        assert 100 < low < 300  # roughly balanced
+
+    def test_weights_respected(self):
+        trace = interleave(
+            [StreamPattern(0, 4096), StreamPattern(1 << 20, 4096)],
+            total_accesses=1000,
+            weights=[9, 1],
+            seed=5,
+        )
+        low = sum(1 for a in trace.addrs if a < 1 << 20)
+        assert low > 800
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            interleave([], 10)
+        with pytest.raises(WorkloadError):
+            interleave([StreamPattern(0, 4096)], 0)
+        with pytest.raises(WorkloadError):
+            interleave([StreamPattern(0, 4096)], 10, weights=[1, 2])
+
+    def test_runs_through_cache(self):
+        """Phase traces plug into the normal cache stack."""
+        from repro.cache.geometry import CacheGeometry
+        from repro.core.accord import AccordDesign, make_design
+
+        trace = interleave(
+            [ScanPattern(0, 8), PointerChasePattern(1 << 22, 1024, seed=3)],
+            total_accesses=2000,
+            seed=5,
+        )
+        cache = make_design(
+            AccordDesign(kind="accord", ways=2), CacheGeometry(1 << 20, 2)
+        )
+        for addr, is_write in zip(trace.addrs, trace.writes):
+            if is_write:
+                cache.writeback(addr)
+            else:
+                cache.read(addr)
+        assert cache.stats.demand_reads > 0

@@ -1,0 +1,128 @@
+"""Property-based tests on policy data structures.
+
+The RecentRegionTable is checked against a reference model
+(an ordered dict with explicit LRU), and replacement policies against
+their contracts (victims always among the candidates; LRU matches a
+reference list model).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import (
+    LruReplacement,
+    NruReplacement,
+    RandomReplacement,
+    RripReplacement,
+)
+from repro.cache.storage import TagStore
+from repro.core.gws import RecentRegionTable
+from repro.utils.rng import XorShift64
+
+_ENTRIES = 8
+
+
+class RegionTableMachine(RuleBasedStateMachine):
+    """RecentRegionTable vs an explicit LRU-list reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = RecentRegionTable(entries=_ENTRIES)
+        self.model = []  # list of (region, way); front = LRU
+
+    def _model_get(self, region):
+        for i, (r, w) in enumerate(self.model):
+            if r == region:
+                self.model.append(self.model.pop(i))
+                return w
+        return None
+
+    def _model_put(self, region, way):
+        for i, (r, _w) in enumerate(self.model):
+            if r == region:
+                self.model.pop(i)
+                break
+        self.model.append((region, way))
+        while len(self.model) > _ENTRIES:
+            self.model.pop(0)
+
+    @rule(region=st.integers(min_value=0, max_value=20),
+          way=st.integers(min_value=0, max_value=1))
+    def record(self, region, way):
+        self.table.record(region, way)
+        self._model_put(region, way)
+
+    @rule(region=st.integers(min_value=0, max_value=20))
+    def lookup(self, region):
+        assert self.table.lookup(region) == self._model_get(region)
+
+    @invariant()
+    def size_bounded(self):
+        assert len(self.table) <= _ENTRIES
+        assert len(self.table) == len(self.model)
+
+
+RegionTableMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=50, deadline=None
+)
+TestRegionTableModel = RegionTableMachine.TestCase
+
+
+_GEOMETRY = CacheGeometry(16 * 1024, 4)
+
+
+@given(
+    filled=st.lists(st.integers(min_value=0, max_value=3), min_size=0, max_size=4,
+                    unique=True),
+    candidates=st.lists(st.integers(min_value=0, max_value=3), min_size=1,
+                        max_size=4, unique=True),
+    seed=st.integers(min_value=1, max_value=1000),
+)
+def test_property_victims_always_candidates(filled, candidates, seed):
+    store = TagStore(_GEOMETRY)
+    for way in filled:
+        store.install(0, way, way + 100)
+    policies = [
+        RandomReplacement(XorShift64(seed)),
+        LruReplacement(_GEOMETRY),
+        NruReplacement(_GEOMETRY, XorShift64(seed)),
+        RripReplacement(_GEOMETRY, rng=XorShift64(seed)),
+    ]
+    for policy in policies:
+        victim = policy.victim(0, tuple(candidates), store)
+        assert victim in candidates
+
+
+@given(touch_order=st.permutations([0, 1, 2, 3]))
+def test_property_lru_matches_reference(touch_order):
+    store = TagStore(_GEOMETRY)
+    policy = LruReplacement(_GEOMETRY)
+    for way in range(4):
+        store.install(0, way, way + 1)
+        policy.on_install(0, way)
+    for way in touch_order:
+        policy.on_hit(0, way)
+    # The least recently touched way is the first in touch_order.
+    assert policy.victim(0, (0, 1, 2, 3), store) == touch_order[0]
+
+
+@given(seed=st.integers(min_value=1, max_value=10_000))
+def test_property_rrip_promotes_hits(seed):
+    store = TagStore(_GEOMETRY)
+    policy = RripReplacement(_GEOMETRY, rng=XorShift64(seed))
+    for way in range(4):
+        store.install(0, way, way + 1)
+        policy.on_install(0, way)
+    policy.on_hit(0, 2)  # rrpv 0: most protected
+    # Evicting three times must remove all ways except 2 first.
+    evicted = set()
+    for _ in range(3):
+        victim = policy.victim(0, (0, 1, 2, 3), store)
+        assert victim != 2
+        evicted.add(victim)
+        store.invalidate(0, victim)
+        store.install(0, victim, victim + 50)
+        policy.on_install(0, victim)
+    assert evicted == {0, 1, 3}

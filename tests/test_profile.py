@@ -1,0 +1,102 @@
+"""Tests for the trace profiler, including calibration closure checks
+(generated traces must exhibit the spec's knobs)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.profile import ReuseDistanceEstimator, profile_trace
+from repro.sim.trace import Trace, trace_from_arrays
+from repro.workloads.spec import get_workload
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def make_trace(addrs, writes=None):
+    writes = writes if writes is not None else [0] * len(addrs)
+    return trace_from_arrays("t", addrs, writes, 50.0)
+
+
+class TestBasicProfile:
+    def test_counts(self):
+        trace = make_trace([0, 64, 128, 0], [0, 0, 1, 0])
+        profile = profile_trace(trace)
+        assert profile.accesses == 4
+        assert profile.reads == 3
+        assert profile.writes == 1
+        assert profile.footprint_lines == 2  # lines 0 and 1 (128 is written)
+
+    def test_run_lengths(self):
+        # Two runs: 0,1,2 then 100.
+        trace = make_trace([0, 64, 128, 6400])
+        profile = profile_trace(trace)
+        assert profile.max_run_length == 3
+        assert profile.mean_run_length == pytest.approx(2.0)
+
+    def test_region_reuse(self):
+        # Same 4KB page hit repeatedly: high region reuse.
+        trace = make_trace([0, 64, 128, 192])
+        profile = profile_trace(trace)
+        assert profile.region_reuse_fraction == pytest.approx(3 / 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            profile_trace(Trace("e", [], bytearray(), 1.0))
+
+    def test_summary_renders(self):
+        profile = profile_trace(make_trace([0, 64]))
+        text = profile.summary()
+        assert "footprint" in text and "run length" in text
+
+
+class TestReuseDistance:
+    def test_cold_first_touch(self):
+        estimator = ReuseDistanceEstimator()
+        estimator.touch(1)
+        assert estimator.histogram["cold"] == 1
+
+    def test_short_reuse(self):
+        estimator = ReuseDistanceEstimator()
+        estimator.touch(1)
+        estimator.touch(2)
+        estimator.touch(1)
+        assert estimator.histogram["<256"] == 1
+
+    def test_long_reuse_bucketed(self):
+        estimator = ReuseDistanceEstimator()
+        for line in range(5000):
+            estimator.touch(line)
+        estimator.touch(0)
+        assert estimator.histogram["<64K"] == 1
+
+
+class TestCalibrationClosure:
+    """Generated traces must exhibit the spec's declared behaviour."""
+
+    CAPACITY = 4 * 1024 * 1024
+
+    def _profile(self, name):
+        spec = get_workload(name).scaled(1.0 / 512.0)
+        trace = SyntheticWorkload(spec, self.CAPACITY, seed=5).generate(30_000)
+        return spec, profile_trace(trace, reuse_distances=False)
+
+    def test_spatial_workload_has_long_runs(self):
+        spec, profile = self._profile("libq")
+        assert profile.mean_run_length > 8.0
+
+    def test_sparse_workload_has_short_runs(self):
+        spec, profile = self._profile("mcf")
+        assert profile.mean_run_length < 3.0
+
+    def test_write_fraction_matches_spec(self):
+        for name in ("libq", "mcf", "sphinx"):
+            spec, profile = self._profile(name)
+            assert abs(profile.write_fraction - spec.write_frac) < 0.06
+
+    def test_footprint_ordering_matches_spec(self):
+        _, small = self._profile("sphinx")  # tiny footprint
+        _, large = self._profile("mcf")  # huge footprint
+        assert small.footprint_lines < large.footprint_lines
+
+    def test_region_reuse_tracks_spatial_locality(self):
+        _, spatial = self._profile("nekbone")
+        _, sparse = self._profile("pr_twi")
+        assert spatial.region_reuse_fraction > sparse.region_reuse_fraction

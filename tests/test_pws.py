@@ -1,0 +1,90 @@
+"""Unit tests for Probabilistic Way-Steering."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import RandomReplacement
+from repro.cache.storage import TagStore
+from repro.core.pws import ProbabilisticWaySteering
+from repro.core.steering import preferred_way
+from repro.errors import PolicyError
+from repro.utils.rng import XorShift64
+
+
+@pytest.fixture
+def geom():
+    return CacheGeometry(8 * 1024, 2)
+
+
+def install_fraction_preferred(pws, geom, trials=4000):
+    store = TagStore(geom)
+    replacement = RandomReplacement(XorShift64(9))
+    hits = 0
+    for tag in range(trials):
+        way = pws.choose_install_way(0, tag, 0, store, replacement)
+        if way == preferred_way(tag, geom.ways):
+            hits += 1
+    return hits / trials
+
+
+class TestBias:
+    def test_pip_85(self, geom):
+        pws = ProbabilisticWaySteering(geom, pip=0.85, rng=XorShift64(1))
+        fraction = install_fraction_preferred(pws, geom)
+        assert 0.83 < fraction < 0.87
+
+    def test_pip_50_unbiased(self, geom):
+        pws = ProbabilisticWaySteering(geom, pip=0.5, rng=XorShift64(1))
+        fraction = install_fraction_preferred(pws, geom)
+        assert 0.47 < fraction < 0.53
+
+    def test_pip_100_direct_mapped(self, geom):
+        pws = ProbabilisticWaySteering(geom, pip=1.0, rng=XorShift64(1))
+        assert install_fraction_preferred(pws, geom, trials=500) == 1.0
+
+    def test_pip_0_always_alternate(self, geom):
+        pws = ProbabilisticWaySteering(geom, pip=0.0, rng=XorShift64(1))
+        assert install_fraction_preferred(pws, geom, trials=500) == 0.0
+
+
+class TestValidation:
+    def test_rejects_bad_pip(self, geom):
+        with pytest.raises(PolicyError):
+            ProbabilisticWaySteering(geom, pip=1.5)
+        with pytest.raises(PolicyError):
+            ProbabilisticWaySteering(geom, pip=-0.1)
+
+    def test_one_way_geometry_degenerates(self):
+        g = CacheGeometry(8 * 1024, 1)
+        pws = ProbabilisticWaySteering(g, pip=0.85)
+        assert pws.pip == 1.0  # forced direct-mapped
+
+    def test_zero_storage(self, geom):
+        assert ProbabilisticWaySteering(geom).storage_bits() == 0
+
+
+class TestSteerAmong:
+    def test_respects_candidate_list(self, geom):
+        pws = ProbabilisticWaySteering(geom, pip=0.85, rng=XorShift64(2))
+        tag = 4
+        pref = preferred_way(tag, 2)
+        other = 1 - pref
+        for _ in range(100):
+            assert pws.steer_among((pref, other), tag) in (pref, other)
+
+    def test_single_candidate(self, geom):
+        pws = ProbabilisticWaySteering(geom, pip=0.5, rng=XorShift64(2))
+        tag = 4
+        pref = preferred_way(tag, 2)
+        assert pws.steer_among((pref,), tag) == pref
+
+    def test_preferred_must_be_candidate(self, geom):
+        pws = ProbabilisticWaySteering(geom, pip=0.85, rng=XorShift64(2))
+        tag = 4
+        non_pref = 1 - preferred_way(tag, 2)
+        with pytest.raises(PolicyError):
+            pws.steer_among((non_pref,), tag)
+
+    def test_all_ways_candidates(self, geom):
+        pws = ProbabilisticWaySteering(geom, pip=0.85)
+        assert tuple(pws.candidate_ways(0, 7)) == (0, 1)

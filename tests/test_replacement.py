@@ -1,0 +1,97 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import (
+    LruReplacement,
+    NruReplacement,
+    RandomReplacement,
+    make_replacement,
+)
+from repro.cache.storage import TagStore
+from repro.utils.rng import XorShift64
+
+
+@pytest.fixture
+def geom():
+    return CacheGeometry(16 * 1024, 4)
+
+
+@pytest.fixture
+def store(geom):
+    return TagStore(geom)
+
+
+class TestRandom:
+    def test_prefers_invalid_way(self, store):
+        policy = RandomReplacement(XorShift64(1))
+        store.install(0, 0, 10)
+        store.install(0, 2, 12)
+        victim = policy.victim(0, (0, 1, 2, 3), store)
+        assert victim in (1, 3)
+
+    def test_uniform_when_full(self, store):
+        policy = RandomReplacement(XorShift64(1))
+        for way in range(4):
+            store.install(0, way, way + 1)
+        counts = {w: 0 for w in range(4)}
+        for _ in range(4000):
+            counts[policy.victim(0, (0, 1, 2, 3), store)] += 1
+        for count in counts.values():
+            assert 800 < count < 1200
+
+    def test_respects_candidates(self, store):
+        policy = RandomReplacement(XorShift64(1))
+        for way in range(4):
+            store.install(0, way, way + 1)
+        for _ in range(100):
+            assert policy.victim(0, (1, 3), store) in (1, 3)
+
+    def test_no_update_cost(self):
+        assert RandomReplacement().update_transfers_on_hit == 0
+
+
+class TestLru:
+    def test_evicts_least_recent(self, geom, store):
+        policy = LruReplacement(geom)
+        for way in range(4):
+            store.install(0, way, way + 1)
+            policy.on_install(0, way)
+        policy.on_hit(0, 0)  # way 0 becomes MRU
+        assert policy.victim(0, (0, 1, 2, 3), store) == 1
+
+    def test_charges_update_on_hit(self, geom):
+        assert LruReplacement(geom).update_transfers_on_hit == 1
+
+    def test_prefers_invalid(self, geom, store):
+        policy = LruReplacement(geom)
+        store.install(0, 0, 1)
+        policy.on_install(0, 0)
+        assert policy.victim(0, (0, 1, 2, 3), store) == 1
+
+
+class TestNru:
+    def test_avoids_referenced(self, geom, store):
+        policy = NruReplacement(geom, XorShift64(3))
+        for way in range(4):
+            store.install(0, way, way + 1)
+            policy.on_install(0, way)
+        # All referenced -> epoch clears, then victim is any way.
+        first = policy.victim(0, (0, 1, 2, 3), store)
+        assert first in (0, 1, 2, 3)
+        policy.on_hit(0, 2)
+        # Now only way 2 is referenced; victim must not be 2.
+        for _ in range(50):
+            assert policy.victim(0, (0, 1, 2, 3), store) != 2
+
+
+class TestFactory:
+    def test_known_names(self, geom):
+        assert isinstance(make_replacement("random", geom), RandomReplacement)
+        assert isinstance(make_replacement("LRU", geom), LruReplacement)
+        assert isinstance(make_replacement("nru", geom), NruReplacement)
+
+    def test_unknown_rejected(self, geom):
+        with pytest.raises(ValueError):
+            make_replacement("plru", geom)

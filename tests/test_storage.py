@@ -1,0 +1,83 @@
+"""Unit tests for the tag store (dense and sparse modes, prefill)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.storage import JUNK_TAG, TagStore
+from repro.errors import GeometryError
+
+
+@pytest.fixture(params=[True, False], ids=["dense", "sparse"])
+def store(request):
+    return TagStore(CacheGeometry(8 * 1024, 2), dense=request.param)
+
+
+class TestBasics:
+    def test_starts_invalid(self, store):
+        assert not store.is_valid(0, 0)
+        assert store.tag_at(0, 0) == -1
+        assert store.find_way(0, 5) is None
+        assert store.occupancy() == 0.0
+
+    def test_install_and_find(self, store):
+        store.install(3, 1, 42)
+        assert store.is_valid(3, 1)
+        assert store.tag_at(3, 1) == 42
+        assert store.find_way(3, 42) == 1
+        assert store.find_way(3, 43) is None
+        assert store.valid_lines == 1
+
+    def test_install_overwrite_keeps_count(self, store):
+        store.install(3, 1, 42)
+        store.install(3, 1, 43)
+        assert store.valid_lines == 1
+        assert store.find_way(3, 42) is None
+        assert store.find_way(3, 43) == 1
+
+    def test_install_rejects_negative_tag(self, store):
+        with pytest.raises(GeometryError):
+            store.install(0, 0, -3)
+
+    def test_invalidate(self, store):
+        store.install(2, 0, 7)
+        store.invalidate(2, 0)
+        assert not store.is_valid(2, 0)
+        assert store.valid_lines == 0
+        store.invalidate(2, 0)  # idempotent
+        assert store.valid_lines == 0
+
+    def test_dirty_bits(self, store):
+        store.install(1, 0, 9, dirty=True)
+        assert store.is_dirty(1, 0)
+        store.set_dirty(1, 0, False)
+        assert not store.is_dirty(1, 0)
+
+    def test_find_way_among(self, store):
+        store.install(4, 1, 11)
+        assert store.find_way_among(4, 11, (0,)) is None
+        assert store.find_way_among(4, 11, (0, 1)) == 1
+
+    def test_invalid_ways(self, store):
+        assert store.invalid_ways(5) == [0, 1]
+        store.install(5, 0, 1)
+        assert store.invalid_ways(5) == [1]
+
+
+class TestPrefill:
+    def test_prefill_marks_everything_valid(self, store):
+        store.prefill_junk()
+        assert store.occupancy() == 1.0
+        assert store.is_valid(0, 0)
+        assert store.tag_at(0, 0) == JUNK_TAG
+        assert not store.is_dirty(0, 0)
+
+    def test_junk_never_matches_real_tags(self, store):
+        store.prefill_junk()
+        for tag in (0, 1, 2**40):
+            assert store.find_way(7, tag) is None
+
+    def test_install_over_junk(self, store):
+        store.prefill_junk()
+        store.install(7, 1, 99)
+        assert store.find_way(7, 99) == 1
+        assert store.valid_lines == store.geometry.num_lines

@@ -1,0 +1,114 @@
+"""Unit + property tests for Skewed Way-Steering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import RandomReplacement
+from repro.cache.storage import TagStore
+from repro.core.steering import preferred_way
+from repro.core.sws import SkewedWaySteering, alternate_way, skewed_candidates
+from repro.errors import PolicyError
+from repro.utils.rng import XorShift64
+
+
+class TestAlternateWay:
+    def test_never_equals_preferred(self):
+        for ways in (2, 4, 8):
+            for tag in range(5000):
+                assert alternate_way(tag, ways) != preferred_way(tag, ways)
+
+    def test_in_range(self):
+        for ways in (2, 4, 8):
+            for tag in range(1000):
+                assert 0 <= alternate_way(tag, ways) < ways
+
+    def test_deterministic(self):
+        assert alternate_way(777, 8) == alternate_way(777, 8)
+
+    def test_rejects_direct_mapped(self):
+        with pytest.raises(PolicyError):
+            alternate_way(1, 1)
+
+
+@given(tag=st.integers(min_value=0, max_value=2**48),
+       ways_exp=st.integers(min_value=1, max_value=3))
+def test_property_alternate_distinct(tag, ways_exp):
+    ways = 1 << ways_exp
+    assert alternate_way(tag, ways) != preferred_way(tag, ways)
+
+
+@given(tag=st.integers(min_value=0, max_value=2**48),
+       ways_exp=st.integers(min_value=1, max_value=3),
+       hashes=st.integers(min_value=1, max_value=4))
+def test_property_candidates_distinct_and_rooted(tag, ways_exp, hashes):
+    ways = 1 << ways_exp
+    if hashes > ways:
+        return
+    candidates = skewed_candidates(tag, ways, hashes)
+    assert len(candidates) == hashes
+    assert len(set(candidates)) == hashes  # all distinct
+    assert candidates[0] == preferred_way(tag, ways)
+    assert all(0 <= c < ways for c in candidates)
+
+
+class TestSkewedCandidates:
+    def test_two_hashes_matches_alternate(self):
+        for tag in range(2000):
+            candidates = skewed_candidates(tag, 8, 2)
+            assert candidates == (preferred_way(tag, 8), alternate_way(tag, 8))
+
+    def test_one_hash_is_direct(self):
+        assert skewed_candidates(77, 8, 1) == (preferred_way(77, 8),)
+
+    def test_rejects_more_hashes_than_ways(self):
+        with pytest.raises(PolicyError):
+            skewed_candidates(1, 2, 3)
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(PolicyError):
+            skewed_candidates(1, 4, 0)
+
+    def test_pairs_spread_over_way_space(self):
+        # Different tags mapping to the same set should use many
+        # different (preferred, alternate) pairs — the skew property.
+        pairs = {skewed_candidates(tag, 8, 2) for tag in range(500)}
+        assert len(pairs) > 20
+
+
+class TestSkewedSteering:
+    @pytest.fixture
+    def geom(self):
+        return CacheGeometry(32 * 1024, 8)
+
+    def test_installs_only_into_candidates(self, geom):
+        steering = SkewedWaySteering(geom, hashes=2, rng=XorShift64(5))
+        store = TagStore(geom)
+        replacement = RandomReplacement(XorShift64(6))
+        for tag in range(500):
+            way = steering.choose_install_way(0, tag, 0, store, replacement)
+            assert way in skewed_candidates(tag, 8, 2)
+
+    def test_bias_toward_preferred(self, geom):
+        steering = SkewedWaySteering(geom, hashes=2, pip=0.85, rng=XorShift64(5))
+        store = TagStore(geom)
+        replacement = RandomReplacement(XorShift64(6))
+        preferred_count = sum(
+            steering.choose_install_way(0, tag, 0, store, replacement)
+            == preferred_way(tag, 8)
+            for tag in range(4000)
+        )
+        assert 0.83 < preferred_count / 4000 < 0.87
+
+    def test_candidate_memoization(self, geom):
+        steering = SkewedWaySteering(geom, hashes=2)
+        first = steering.candidate_ways(0, 42)
+        second = steering.candidate_ways(1, 42)
+        assert first is second  # same tag -> memo hit
+
+    def test_rejects_direct_mapped_geometry(self):
+        with pytest.raises(PolicyError):
+            SkewedWaySteering(CacheGeometry(8 * 1024, 1))
+
+    def test_zero_storage(self, geom):
+        assert SkewedWaySteering(geom).storage_bits() == 0

@@ -1,0 +1,87 @@
+"""Property-based tests on the interval timing model.
+
+The model must be monotone in the physically meaningful directions for
+*any* counter combination, not just the ones the experiments produce.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.params.system import scaled_system
+from repro.sim.stats import CacheStats
+from repro.sim.timing_model import IntervalTimingModel
+
+_MODEL = IntervalTimingModel(scaled_system(ways=1))
+
+
+def make_stats(reads, misses, transfers, hit_extras, writebacks):
+    return CacheStats(
+        demand_reads=reads,
+        hits=reads - misses,
+        misses=misses,
+        first_probes=reads,
+        hit_extra_probes=hit_extras,
+        cache_read_transfers=transfers,
+        cache_write_transfers=misses,
+        nvm_reads=misses,
+        nvm_writes=writebacks,
+        installs=misses,
+    )
+
+
+_COUNTS = st.integers(min_value=1000, max_value=100_000)
+
+
+@given(reads=_COUNTS, miss_frac=st.floats(0.0, 0.9),
+       extra_frac=st.floats(0.0, 0.5))
+@settings(max_examples=40, deadline=None)
+def test_runtime_positive_and_converges(reads, miss_frac, extra_frac):
+    misses = int(reads * miss_frac)
+    stats = make_stats(reads, misses, reads, int(reads * extra_frac), 0)
+    breakdown = _MODEL.evaluate(stats, instructions=reads * 40.0)
+    assert breakdown.runtime_ns > 0
+    assert breakdown.runtime_ns >= breakdown.base_ns
+
+
+@given(reads=_COUNTS, miss_frac=st.floats(0.05, 0.8))
+@settings(max_examples=25, deadline=None)
+def test_more_misses_never_faster(reads, miss_frac):
+    lo = int(reads * miss_frac * 0.5)
+    hi = int(reads * miss_frac)
+    if lo == hi:
+        return
+    fast = _MODEL.evaluate(make_stats(reads, lo, reads, 0, 0), reads * 40.0)
+    slow = _MODEL.evaluate(make_stats(reads, hi, reads, 0, 0), reads * 40.0)
+    assert slow.runtime_ns >= fast.runtime_ns
+
+
+@given(reads=_COUNTS, extra=st.integers(min_value=0, max_value=50_000))
+@settings(max_examples=25, deadline=None)
+def test_hit_extras_never_faster(reads, extra):
+    base = _MODEL.evaluate(make_stats(reads, reads // 4, reads, 0, 0),
+                           reads * 40.0)
+    probed = _MODEL.evaluate(make_stats(reads, reads // 4, reads, extra, 0),
+                             reads * 40.0)
+    assert probed.runtime_ns >= base.runtime_ns - 1e-6
+
+
+@given(reads=_COUNTS,
+       transfer_factor=st.floats(min_value=1.0, max_value=8.0))
+@settings(max_examples=25, deadline=None)
+def test_more_transfers_never_faster(reads, transfer_factor):
+    lean = _MODEL.evaluate(make_stats(reads, reads // 4, reads, 0, 0),
+                           reads * 40.0)
+    fat = _MODEL.evaluate(
+        make_stats(reads, reads // 4, int(reads * transfer_factor), 0, 0),
+        reads * 40.0,
+    )
+    assert fat.runtime_ns >= lean.runtime_ns - 1e-6
+
+
+@given(reads=_COUNTS, cores=st.integers(min_value=1, max_value=32))
+@settings(max_examples=25, deadline=None)
+def test_more_cores_never_faster(reads, cores):
+    stats = make_stats(reads, reads // 3, reads * 2, 0, reads // 5)
+    one = _MODEL.evaluate(stats, reads * 40.0, num_cores=1)
+    many = _MODEL.evaluate(stats, reads * 40.0, num_cores=cores)
+    assert many.runtime_ns >= one.runtime_ns - 1e-6

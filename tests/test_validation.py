@@ -1,0 +1,48 @@
+"""Cross-engine validation tests (interval vs detailed vs scheduled)."""
+
+import pytest
+
+from repro.analysis.validation import (
+    ValidationReport,
+    validate_hit_latency,
+    validate_queueing_growth,
+)
+from repro.errors import SimulationError
+from repro.params.system import scaled_system
+
+
+@pytest.fixture
+def config():
+    return scaled_system(ways=1, scale=1.0 / 1024.0)
+
+
+class TestValidationReport:
+    def test_ratio_and_within(self):
+        report = ValidationReport("x", 10.0, 8.0)
+        assert report.ratio == pytest.approx(1.25)
+        assert report.within(1.5)
+        assert not report.within(1.1)
+
+    def test_zero_detailed_rejected(self):
+        with pytest.raises(SimulationError):
+            ValidationReport("x", 1.0, 0.0).ratio
+
+
+class TestHitLatency:
+    def test_engines_agree_within_2x(self, config):
+        """The interval model's unloaded hit latency must land within a
+        factor of two of the detailed engine's measurement — the two
+        make different row-buffer assumptions (closed vs warm), so
+        exact agreement is not expected."""
+        report = validate_hit_latency(config, num_lines=128)
+        assert report.within(2.0)
+
+
+class TestQueueingGrowth:
+    def test_both_models_grow_with_load(self, config):
+        reports = validate_queueing_growth(config, requests=800)
+        detailed = [r.detailed_value for r in reports]
+        interval = [r.interval_value for r in reports]
+        # Latency/queueing must rise with offered load in both models.
+        assert detailed[0] <= detailed[-1]
+        assert interval[0] <= interval[-1]

@@ -1,0 +1,80 @@
+"""Tests for virtual memory translation."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.vm.translation import PageTable
+
+
+class TestTranslation:
+    def test_stable_mapping(self):
+        table = PageTable(1 << 20, seed=3)
+        first = table.translate(0x1234)
+        assert table.translate(0x1234) == first
+
+    def test_offset_preserved(self):
+        table = PageTable(1 << 20, seed=3)
+        base = table.translate(0x4000)
+        assert table.translate(0x4321) == (base & ~0xFFF) | 0x321
+
+    def test_distinct_pages_distinct_frames(self):
+        table = PageTable(1 << 22, seed=3)
+        frames = {table.translate(vpn * 4096) // 4096 for vpn in range(256)}
+        assert len(frames) == 256
+
+    def test_allocation_is_scattered(self):
+        # Contiguous virtual pages should not map to contiguous frames.
+        table = PageTable(1 << 24, seed=3)
+        frames = [table.translate(vpn * 4096) // 4096 for vpn in range(64)]
+        deltas = {frames[i + 1] - frames[i] for i in range(63)}
+        assert len(deltas) > 10
+
+    def test_deterministic_per_seed(self):
+        a = PageTable(1 << 20, seed=7)
+        b = PageTable(1 << 20, seed=7)
+        for vpn in range(32):
+            assert a.translate(vpn * 4096) == b.translate(vpn * 4096)
+
+    def test_different_seeds_differ(self):
+        a = PageTable(1 << 22, seed=1)
+        b = PageTable(1 << 22, seed=2)
+        mappings_a = [a.translate(v * 4096) for v in range(64)]
+        mappings_b = [b.translate(v * 4096) for v in range(64)]
+        assert mappings_a != mappings_b
+
+    def test_resident_pages(self):
+        table = PageTable(1 << 20, seed=3)
+        table.translate(0)
+        table.translate(4096)
+        table.translate(100)  # same page as 0
+        assert table.resident_pages() == 2
+        assert len(table) == 2
+
+
+class TestExhaustion:
+    def test_fills_exactly_to_capacity(self):
+        table = PageTable(16 * 4096, seed=5)
+        for vpn in range(16):
+            table.translate(vpn * 4096)
+        with pytest.raises(SimulationError):
+            table.translate(16 * 4096)
+
+    def test_near_full_uses_linear_probe(self):
+        table = PageTable(8 * 4096, seed=5)
+        frames = {table.translate(vpn * 4096) // 4096 for vpn in range(8)}
+        assert frames == set(range(8))
+
+
+class TestValidation:
+    def test_rejects_tiny_memory(self):
+        with pytest.raises(ConfigError):
+            PageTable(100)
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ConfigError):
+            PageTable(4096 + 17)
+
+    def test_rejects_negative_address(self):
+        table = PageTable(1 << 20)
+        with pytest.raises(SimulationError):
+            table.translate(-1)
