@@ -17,6 +17,13 @@ from repro.experiments.common import Settings
 BENCH_ACCESSES = 40_000
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    """Benchmarks measure simulation time, so each gets a cold,
+    throwaway result store instead of the user's warm ~/.cache/repro."""
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "repro-results"))
+
+
 @pytest.fixture
 def bench_settings():
     return Settings(num_accesses=BENCH_ACCESSES)

@@ -1,0 +1,42 @@
+"""Benchmark: the sweep engine — parallel fan-out and warm-store replay."""
+
+from repro.core.accord import AccordDesign
+from repro.exec import Executor, JobKey, ResultStore
+
+from conftest import BENCH_ACCESSES
+
+WORKLOADS = ("soplex", "libq", "mcf", "sphinx")
+DESIGNS = (
+    AccordDesign(kind="direct", ways=1),
+    AccordDesign(kind="accord", ways=2),
+)
+
+
+def _keys():
+    return [
+        JobKey(design=design, workload=workload, num_accesses=BENCH_ACCESSES)
+        for design in DESIGNS
+        for workload in WORKLOADS
+    ]
+
+
+def test_parallel_sweep(benchmark):
+    def run():
+        return Executor(jobs=4).run(_keys())
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == len(_keys())
+
+
+def test_warm_store_replay(benchmark, tmp_path):
+    root = tmp_path / "store"
+    Executor(jobs=1, store=ResultStore(root)).run(_keys())  # populate, unmeasured
+
+    def warm():
+        executor = Executor(jobs=1, store=ResultStore(root))
+        resolved = executor.run(_keys())
+        assert executor.stats.executed == 0
+        return resolved
+
+    results = benchmark.pedantic(warm, rounds=3, iterations=1)
+    assert len(results) == len(_keys())

@@ -16,11 +16,13 @@ Public surface:
 * :mod:`repro.sim` — simulator, timing models, traces
 * :mod:`repro.workloads` — workload catalog and generators
 * :mod:`repro.analysis` — analytic models, storage and energy accounting
+* :mod:`repro.exec` — sweep jobs, content-addressed result store, executor
 * :mod:`repro.experiments` — one module per paper table/figure
 """
 
 from repro.core.accord import AccordDesign, make_accord, make_design
 from repro.cache.geometry import CacheGeometry
+from repro.exec import Executor, JobKey, ResultStore
 from repro.params.system import SystemConfig, paper_system, scaled_system
 from repro.sim.system import RunResult, Simulator, build_dram_cache
 from repro.sim.runner import (
@@ -41,6 +43,9 @@ __all__ = [
     "SystemConfig",
     "paper_system",
     "scaled_system",
+    "Executor",
+    "JobKey",
+    "ResultStore",
     "RunResult",
     "Simulator",
     "build_dram_cache",

@@ -3,9 +3,16 @@
 Usage::
 
     python -m repro list                  # what can be reproduced
-    python -m repro run fig10_speedup_2way [--accesses N] [--quick]
+    python -m repro run fig10_speedup_2way [--accesses N] [--quick] [-j 4]
     python -m repro run all [--quick]     # every experiment, in order
+    python -m repro sweep --designs direct,accord:2,sws:8:2 [-j 8]
     python -m repro info                  # system configuration summary
+
+``run`` and ``sweep`` share the executor flags: ``--jobs/-j`` fans
+simulations out over worker processes, and results are memoized in a
+content-addressed store (``--results-dir``, default
+``$REPRO_RESULTS_DIR`` or ``~/.cache/repro``; ``--no-store`` disables
+it), so re-running a sweep only simulates what changed.
 """
 
 from __future__ import annotations
@@ -83,7 +90,100 @@ def _cmd_run(names: List[str], passthrough: List[str]) -> int:
     return 0
 
 
+def _progress(done: int, total: int, key, source: str) -> None:
+    print(f"[{done}/{total}] {key.display} ({source})", file=sys.stderr)
+
+
+def _cmd_sweep(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    from repro.analysis.export import save_series_csv
+    from repro.analysis.report import per_workload_table
+    from repro.errors import ConfigError
+    from repro.exec import JobKey, parse_design_spec
+    from repro.experiments.common import settings_from_args
+    from repro.sim.runner import mean_hit_rate
+
+    settings = settings_from_args(args, parser)
+    try:
+        designs = [
+            parse_design_spec(spec)
+            for spec in args.designs.split(",") if spec.strip()
+        ]
+    except ConfigError as exc:
+        parser.error(str(exc))
+    if not designs:
+        parser.error("--designs: no design specs given")
+    labels = [design.display_name for design in designs]
+    if len(set(labels)) != len(labels):
+        parser.error("--designs: duplicate designs in sweep")
+
+    executor = settings.make_executor(
+        progress=_progress if args.progress else None
+    )
+    keys = {
+        label: [
+            JobKey(
+                design=design,
+                workload=workload,
+                num_accesses=settings.num_accesses,
+                warmup=settings.warmup,
+                seed=settings.seed,
+                scale=settings.scale,
+            )
+            for workload in settings.suite
+        ]
+        for label, design in zip(labels, designs)
+    }
+    flat = [key for per_label in keys.values() for key in per_label]
+    resolved = executor.run(flat)
+    per_design = {
+        label: {key.workload: resolved[key] for key in per_label}
+        for label, per_label in keys.items()
+    }
+
+    hit_columns = {
+        label: {w: r.hit_rate for w, r in results.items()}
+        for label, results in per_design.items()
+    }
+    print(per_workload_table(
+        hit_columns,
+        title=f"Sweep: hit rate, {len(designs)} designs x "
+              f"{len(settings.suite)} workloads",
+        gmean_row=False,
+    ))
+    print("Mean hit rate: " + " | ".join(
+        f"{label}={mean_hit_rate(results):.3f}"
+        for label, results in per_design.items()
+    ))
+
+    csv_columns = hit_columns
+    if len(designs) > 1:
+        base_label = labels[0]
+        speedup_columns = {
+            label: {
+                w: r.speedup_over(per_design[base_label][w])
+                for w, r in results.items()
+            }
+            for label, results in per_design.items()
+            if label != base_label
+        }
+        print()
+        print(per_workload_table(
+            speedup_columns, title=f"Sweep: speedup over {base_label}"
+        ))
+        csv_columns = speedup_columns
+    stats = executor.stats
+    print(f"\n{stats.executed} simulated, {stats.cached} from cache"
+          + (f", {stats.retried} retried" if stats.retried else ""))
+    if args.csv:
+        save_series_csv(csv_columns, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.experiments.common import add_settings_arguments
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="ACCORD (ISCA 2018) reproduction harness",
@@ -94,19 +194,46 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_parser = sub.add_parser("run", help="run one or more experiments")
     run_parser.add_argument("names", nargs="+",
                             help="experiment names, or 'all'")
-    run_parser.add_argument("--accesses", type=int, default=None)
-    run_parser.add_argument("--quick", action="store_true")
+    add_settings_arguments(run_parser)
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run a designs x workloads grid through the parallel executor",
+    )
+    sweep_parser.add_argument(
+        "--designs", required=True,
+        help="comma-separated design specs: kind[:ways[:hashes]][:key=value...]"
+             " e.g. 'direct,accord:2,sws:8:2,pws:2:pip=0.9'",
+    )
+    sweep_parser.add_argument("--csv", default=None,
+                              help="also write the sweep table as tidy CSV")
+    sweep_parser.add_argument("--progress", action="store_true",
+                              help="print per-job progress to stderr")
+    add_settings_arguments(sweep_parser)
 
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "info":
         return _cmd_info()
+    if args.command == "sweep":
+        return _cmd_sweep(args, parser)
     passthrough: List[str] = []
     if args.accesses is not None:
         passthrough += ["--accesses", str(args.accesses)]
+    if args.seed is not None:
+        passthrough += ["--seed", str(args.seed)]
+    if args.scale is not None:
+        passthrough += ["--scale", str(args.scale)]
+    if args.workloads is not None:
+        passthrough += ["--workloads", args.workloads]
     if args.quick:
         passthrough += ["--quick"]
+    if args.jobs != 1:
+        passthrough += ["--jobs", str(args.jobs)]
+    if args.results_dir is not None:
+        passthrough += ["--results-dir", args.results_dir]
+    if args.no_store:
+        passthrough += ["--no-store"]
     return _cmd_run(args.names, passthrough)
 
 

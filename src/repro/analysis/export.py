@@ -74,8 +74,9 @@ def runs_to_csv(
     metrics: Optional[Dict[str, str]] = None,
 ) -> str:
     """Export RunResults as CSV: one row per workload, one column per
-    metric. ``metrics`` maps column name -> RunResult attribute path
-    (supports ``stats.<field>`` and ``timing.<field>``)."""
+    metric. ``metrics`` maps column name -> a key path into
+    :meth:`RunResult.to_dict` (supports ``stats.<field>`` and
+    ``timing.<field>`` plus the derived top-level values)."""
     if not results:
         raise SimulationError("no results to export")
     metrics = metrics or {
@@ -86,18 +87,22 @@ def runs_to_csv(
         "dram_utilization": "timing.dram_utilization",
     }
 
-    def resolve(result, path: str):
-        value = result
+    def resolve(record, path: str):
+        value = record
         for part in path.split("."):
-            value = getattr(value, part)
+            try:
+                value = value[part]
+            except (KeyError, TypeError):
+                raise SimulationError(f"unknown metric path {path!r}") from None
         return value
 
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
     writer.writerow(["workload"] + list(metrics))
     for workload in sorted(results):
+        record = results[workload].to_dict()
         row = [workload]
         for path in metrics.values():
-            row.append(repr(resolve(results[workload], path)))
+            row.append(repr(resolve(record, path)))
         writer.writerow(row)
     return buffer.getvalue()

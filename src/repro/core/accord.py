@@ -59,6 +59,13 @@ class _IdealizedLookup:
         )
 
 
+#: Every ``kind`` accepted by :func:`make_design`, in docstring order.
+DESIGN_KINDS = (
+    "direct", "parallel", "serial", "unbiased", "pws", "gws", "accord",
+    "sws", "dueling", "mru", "partial_tag", "perfect", "ideal", "ca",
+)
+
+
 @dataclass(frozen=True)
 class AccordDesign:
     """A named cache configuration.

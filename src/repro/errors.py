@@ -34,3 +34,7 @@ class PolicyError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification is unknown or invalid."""
+
+
+class ExecutionError(ReproError):
+    """A sweep job could not be completed (e.g. workers kept crashing)."""

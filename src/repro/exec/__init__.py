@@ -1,0 +1,30 @@
+"""Sweep execution engine: job model, result store, parallel executor.
+
+* :mod:`repro.exec.jobs` — :class:`JobKey` (a deterministic, hashable
+  name for one simulation) and :func:`execute_job` (its worker entry).
+* :mod:`repro.exec.store` — :class:`ResultStore`, a content-addressed
+  JSON-on-disk memo of :class:`~repro.sim.system.RunResult` records.
+* :mod:`repro.exec.executor` — :class:`Executor`, which serves warm
+  keys from the store and fans cold keys out over a process pool.
+"""
+
+from repro.exec.executor import Executor, ExecutorStats
+from repro.exec.jobs import (
+    RESULT_SCHEMA_VERSION,
+    JobKey,
+    execute_job,
+    parse_design_spec,
+)
+from repro.exec.store import RESULTS_DIR_ENV, ResultStore, default_store_root
+
+__all__ = [
+    "Executor",
+    "ExecutorStats",
+    "JobKey",
+    "RESULT_SCHEMA_VERSION",
+    "RESULTS_DIR_ENV",
+    "ResultStore",
+    "default_store_root",
+    "execute_job",
+    "parse_design_spec",
+]

@@ -1,0 +1,137 @@
+"""Parallel sweep executor with memoization and crash retry.
+
+Jobs are independent (design, workload) simulations named by
+:class:`JobKey`. The executor serves warm keys from a
+:class:`ResultStore`, fans the cold ones out over a
+``ProcessPoolExecutor`` (or runs them inline for ``jobs=1``), retries
+jobs whose worker *process* died (deterministic simulation errors are
+not retried — they would fail identically), and reports progress
+through an optional callback.
+
+Results are bit-identical to a serial run: every job rebuilds its trace
+from the seeded generator, so neither scheduling order nor process
+boundaries can perturb the outcome.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError, ExecutionError
+from repro.exec.jobs import JobKey, execute_job
+from repro.exec.store import ResultStore
+from repro.sim.system import RunResult
+
+#: progress(done, total, key, source) with source in {"cached", "run"}.
+ProgressFn = Callable[[int, int, JobKey, str], None]
+
+
+@dataclass
+class ExecutorStats:
+    """What the most recent :meth:`Executor.run` call actually did."""
+
+    executed: int = 0
+    cached: int = 0
+    retried: int = 0
+
+
+class Executor:
+    """Runs batches of jobs, warm-first, then parallel or serial."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        retries: int = 1,
+        progress: Optional[ProgressFn] = None,
+    ):
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.store = store
+        self.retries = retries
+        self.progress = progress
+        self.stats = ExecutorStats()
+
+    def run(self, keys: Sequence[JobKey]) -> Dict[JobKey, RunResult]:
+        """Resolve every key to a result; ``stats`` reflects this call."""
+        self.stats = ExecutorStats()
+        unique: List[JobKey] = []
+        seen = set()
+        for key in keys:
+            if key not in seen:
+                seen.add(key)
+                unique.append(key)
+        self._total = len(unique)
+        self._done = 0
+
+        results: Dict[JobKey, RunResult] = {}
+        pending: List[JobKey] = []
+        for key in unique:
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                # The store ignores cosmetic labels; hand back the
+                # caller's exact design object.
+                results[key] = replace(cached, design=key.design)
+                self.stats.cached += 1
+                self._report(key, "cached")
+            else:
+                pending.append(key)
+
+        if not pending:
+            return results
+        if self.jobs == 1 or len(pending) == 1:
+            for key in pending:
+                self._record(key, execute_job(key), results)
+        else:
+            self._run_parallel(pending, results)
+        return results
+
+    # -- internals --------------------------------------------------------
+
+    def _record(
+        self, key: JobKey, result: RunResult, results: Dict[JobKey, RunResult]
+    ) -> None:
+        results[key] = result
+        self.stats.executed += 1
+        if self.store is not None:
+            self.store.put(key, result)
+        self._report(key, "run")
+
+    def _report(self, key: JobKey, source: str) -> None:
+        self._done += 1
+        if self.progress is not None:
+            self.progress(self._done, self._total, key, source)
+
+    def _run_parallel(
+        self, pending: Sequence[JobKey], results: Dict[JobKey, RunResult]
+    ) -> None:
+        remaining: Dict[JobKey, int] = {key: 0 for key in pending}
+        while remaining:
+            try:
+                workers = min(self.jobs, len(remaining))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        pool.submit(execute_job, key): key for key in remaining
+                    }
+                    for future in as_completed(futures):
+                        key = futures[future]
+                        # Deterministic simulation errors propagate here;
+                        # a dead worker raises BrokenProcessPool instead.
+                        self._record(key, future.result(), results)
+                        del remaining[key]
+            except BrokenProcessPool:
+                for key in remaining:
+                    remaining[key] += 1
+                dead = [k for k, tries in remaining.items() if tries > self.retries]
+                if dead:
+                    raise ExecutionError(
+                        f"worker process died repeatedly on {dead[0].display} "
+                        f"(gave up after {self.retries + 1} attempts)"
+                    ) from None
+                self.stats.retried += len(remaining)

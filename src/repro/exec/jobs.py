@@ -1,0 +1,171 @@
+"""Deterministic job model for the sweep engine.
+
+A :class:`JobKey` captures everything that determines one simulation's
+outcome: the design, the workload name, and the scalar knobs feeding
+trace generation and the timing model. Trace generation is seeded, so
+any process that holds the same key rebuilds the same trace and the
+same simulator — which is what lets results be executed on an arbitrary
+worker process and memoized on disk, content-addressed by the key's
+digest (:mod:`repro.exec.store`).
+
+The cosmetic ``label`` field of :class:`AccordDesign` is excluded from
+the canonical form: relabelling a design must not change its identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.accord import DESIGN_KINDS, AccordDesign
+from repro.errors import ConfigError
+from repro.params.system import scaled_system
+from repro.sim.runner import DEFAULT_WARMUP, TraceFactory, run_design
+from repro.sim.system import RunResult
+
+#: Bump whenever simulation semantics or the stored RunResult layout
+#: change in a way that invalidates previously memoized results.
+RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class JobKey:
+    """Names one (design, workload, knobs) simulation deterministically."""
+
+    design: AccordDesign
+    workload: str
+    num_accesses: int
+    warmup: float = DEFAULT_WARMUP
+    seed: int = 7
+    scale: float = 1.0 / 128.0
+    # None normalizes to ``scale``; cache-size sweeps pin it elsewhere.
+    footprint_scale: Optional[float] = None
+
+    def __post_init__(self):
+        if self.num_accesses <= 0:
+            raise ConfigError("num_accesses must be positive")
+        if not 0.0 <= self.warmup < 1.0:
+            raise ConfigError("warmup fraction must be in [0, 1)")
+        if not 0.0 < self.scale <= 1.0:
+            raise ConfigError(f"scale must be in (0, 1], got {self.scale}")
+        if self.footprint_scale is None:
+            object.__setattr__(self, "footprint_scale", self.scale)
+
+    def canonical(self) -> Dict[str, Any]:
+        """JSON-safe dict of everything that determines the result."""
+        design = asdict(self.design)
+        design.pop("label")
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "design": design,
+            "workload": self.workload,
+            "num_accesses": self.num_accesses,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "scale": self.scale,
+            "footprint_scale": self.footprint_scale,
+        }
+
+    def digest(self) -> str:
+        """Content address: SHA-256 over the canonical form."""
+        payload = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+    @property
+    def display(self) -> str:
+        return f"{self.design.display_name} / {self.workload}"
+
+
+# Per-process trace memo: workers (and the serial in-process path) reuse
+# one TraceFactory per knob tuple so a workload's trace is generated once
+# no matter how many designs replay it.
+_FACTORY_CACHE: Dict[Tuple[float, int, int, float], TraceFactory] = {}
+_FACTORY_CACHE_MAX = 4
+
+
+def _trace_factory(key: JobKey) -> TraceFactory:
+    cache_key = (key.scale, key.num_accesses, key.seed, key.footprint_scale)
+    factory = _FACTORY_CACHE.get(cache_key)
+    if factory is None:
+        if len(_FACTORY_CACHE) >= _FACTORY_CACHE_MAX:
+            _FACTORY_CACHE.pop(next(iter(_FACTORY_CACHE)))
+        factory = TraceFactory(
+            scaled_system(ways=1, scale=key.scale),
+            key.num_accesses,
+            key.seed,
+            footprint_scale=key.footprint_scale,
+        )
+        _FACTORY_CACHE[cache_key] = factory
+    return factory
+
+
+def execute_job(key: JobKey) -> RunResult:
+    """Run the simulation a key names (worker entry point; picklable)."""
+    config = scaled_system(ways=key.design.ways, scale=key.scale)
+    return run_design(
+        key.design,
+        key.workload,
+        config=config,
+        traces=_trace_factory(key),
+        num_accesses=key.num_accesses,
+        warmup=key.warmup,
+        seed=key.seed,
+    )
+
+
+# Field coercions for ``key=value`` parts of a design spec string.
+_SPEC_FIELD_TYPES = {
+    "ways": int,
+    "pip": float,
+    "hashes": int,
+    "rit_entries": int,
+    "rlt_entries": int,
+    "region_size": int,
+    "replacement": str,
+    "partial_tag_bits": int,
+    "dcp": str,
+    "label": str,
+}
+
+
+def parse_design_spec(spec: str) -> AccordDesign:
+    """Parse a CLI design spec into an :class:`AccordDesign`.
+
+    Grammar: ``kind[:ways[:hashes]][:key=value...]`` — e.g. ``direct``,
+    ``accord:2``, ``sws:8:4``, ``pws:2:pip=0.9``. The bare ``hashes``
+    position is only meaningful for ``sws``.
+    """
+    parts = [p.strip() for p in spec.strip().split(":") if p.strip()]
+    if not parts:
+        raise ConfigError(f"empty design spec {spec!r}")
+    kind, rest = parts[0], parts[1:]
+    if kind not in DESIGN_KINDS:
+        raise ConfigError(
+            f"unknown design kind {kind!r}; expected one of {', '.join(DESIGN_KINDS)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    positional = ("ways", "hashes") if kind == "sws" else ("ways",)
+    for name in positional:
+        if rest and "=" not in rest[0]:
+            try:
+                kwargs[name] = int(rest.pop(0))
+            except ValueError as exc:
+                raise ConfigError(f"bad {name} in design spec {spec!r}") from exc
+    for part in rest:
+        if "=" not in part:
+            raise ConfigError(
+                f"design spec {spec!r}: expected key=value, got {part!r}"
+            )
+        name, value = part.split("=", 1)
+        coerce = _SPEC_FIELD_TYPES.get(name)
+        if coerce is None:
+            raise ConfigError(f"design spec {spec!r}: unknown field {name!r}")
+        try:
+            kwargs[name] = coerce(value)
+        except ValueError as exc:
+            raise ConfigError(f"design spec {spec!r}: bad value for {name}") from exc
+    return AccordDesign(kind=kind, **kwargs)

@@ -1,0 +1,126 @@
+"""Content-addressed on-disk store for simulation results.
+
+Results are memoized as JSON under ``<root>/<dd>/<digest>.json`` where
+``digest`` is the :meth:`JobKey.digest` content address (the leading
+two hex digits shard the directory). Each record carries the canonical
+key alongside the result, so a lookup verifies the stored key matches
+before trusting the payload — a digest collision or a hand-edited file
+degrades to a cache miss, never to a wrong result.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent executors
+sharing one store directory can only ever race to write identical
+bytes. Corrupt or stale entries are discarded on read, not fatal; an
+unwritable store degrades to running every simulation.
+
+The root defaults to ``$REPRO_RESULTS_DIR`` or ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ReproError
+from repro.exec.jobs import RESULT_SCHEMA_VERSION, JobKey
+from repro.sim.system import RunResult
+
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+
+
+def default_store_root() -> Path:
+    """``$REPRO_RESULTS_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(RESULTS_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultStore:
+    """Memoizes :class:`RunResult` objects keyed by :class:`JobKey`."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_store_root()
+        self._broken = False
+
+    def path_for(self, key: JobKey) -> Path:
+        digest = key.digest()
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, key: JobKey) -> Optional[RunResult]:
+        """Stored result for ``key``, or None (discarding bad entries)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        try:
+            if record["key"] != key.canonical():
+                raise ValueError("stored key does not match lookup key")
+            return RunResult.from_dict(record["result"])
+        except (KeyError, TypeError, ValueError, ReproError):
+            self._discard(path)
+            return None
+
+    def put(self, key: JobKey, result: RunResult) -> None:
+        """Persist a result; an unwritable store warns once and disables."""
+        if self._broken:
+            return
+        path = self.path_for(key)
+        record = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "key": key.canonical(),
+            "result": result.to_dict(),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=str(path.parent)
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(record, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            self._broken = True
+            warnings.warn(
+                f"result store at {self.root} is not writable ({exc}); "
+                "results from this run will not be memoized",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def __contains__(self, key: JobKey) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        """Number of stored entries (walks the shard directories)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            1
+            for shard in self.root.iterdir()
+            if shard.is_dir()
+            for entry in shard.glob("*.json")
+            if not entry.name.startswith(".tmp-")
+        )
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -4,6 +4,12 @@ Every experiment runs a set of named designs over a workload suite with
 *paired traces*: the trace for a workload is generated once (it depends
 only on cache capacity, which all designs share) and replayed against
 every design.
+
+Execution routes through :mod:`repro.exec`: each (design, workload)
+pair becomes a :class:`~repro.exec.JobKey`, warm keys are served from
+the content-addressed result store, and cold keys run in parallel when
+``Settings.jobs > 1``. Parallel replay is bit-identical to serial
+because trace generation is seeded per key.
 """
 
 from __future__ import annotations
@@ -13,17 +19,18 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.accord import AccordDesign
+from repro.errors import WorkloadError
+from repro.exec import Executor, JobKey, ResultStore
 from repro.params.system import SystemConfig, scaled_system
 from repro.sim.runner import (
     TraceFactory,
     geometric_mean,
     mean_hit_rate,
     mean_prediction_accuracy,
-    run_suite,
     speedups_vs_baseline,
 )
 from repro.sim.system import RunResult
-from repro.workloads.spec import main_suite
+from repro.workloads.spec import get_workload, is_mix, main_suite
 
 DEFAULT_SCALE = 1.0 / 128.0
 
@@ -37,6 +44,9 @@ class Settings:
     seed: int = 7
     scale: float = DEFAULT_SCALE
     suite: List[str] = field(default_factory=main_suite)
+    jobs: int = 1
+    results_dir: Optional[str] = None
+    use_store: bool = True
 
     def quick(self) -> "Settings":
         """A reduced configuration for smoke tests and CI."""
@@ -46,22 +56,98 @@ class Settings:
             suite=["soplex", "libq", "mcf", "sphinx"],
         )
 
+    def make_executor(self, progress=None) -> Executor:
+        """Executor honouring this configuration's jobs/store knobs."""
+        store = ResultStore(self.results_dir) if self.use_store else None
+        return Executor(jobs=self.jobs, store=store, progress=progress)
 
-def parse_args(description: str, argv: Optional[Sequence[str]] = None) -> Settings:
-    """Common CLI: --accesses, --seed, --quick."""
-    parser = argparse.ArgumentParser(description=description)
-    parser.add_argument("--accesses", type=int, default=200_000,
+
+def _parse_workloads(text: str, parser: argparse.ArgumentParser) -> List[str]:
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    if not names:
+        parser.error("--workloads: no workload names given")
+    for name in names:
+        if is_mix(name):
+            continue
+        try:
+            get_workload(name)
+        except WorkloadError as exc:
+            parser.error(f"--workloads: {exc}")
+    return names
+
+
+def add_settings_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the flags shared by every experiment (and ``sweep``)."""
+    parser.add_argument("--accesses", type=int, default=None,
                         help="requests per workload trace")
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--quick", action="store_true",
                         help="small suite / short traces for a fast check")
+    parser.add_argument("--workloads", type=str, default=None,
+                        help="comma-separated workload subset "
+                             "(default: the experiment's suite)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="system scale factor in (0, 1] "
+                             "(default 1/128: 32MB cache)")
+    parser.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (1 = serial, the default)")
+    parser.add_argument("--results-dir", type=str, default=None,
+                        help="result-store directory "
+                             "(default: $REPRO_RESULTS_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="disable the on-disk result store")
+
+
+def settings_from_args(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> Settings:
+    """Build Settings from parsed common flags.
+
+    ``--quick`` applies first; explicitly passed flags always win over
+    the quick defaults (so ``--quick --accesses 100000`` runs the quick
+    suite with 100k accesses).
+    """
+    settings = Settings()
+    if args.quick:
+        settings = settings.quick()
+    if args.accesses is not None:
+        if args.accesses <= 0:
+            parser.error("--accesses must be positive")
+        settings = replace(settings, num_accesses=args.accesses)
+    if args.seed is not None:
+        settings = replace(settings, seed=args.seed)
+    if args.scale is not None:
+        if not 0.0 < args.scale <= 1.0:
+            parser.error("--scale must be in (0, 1]")
+        settings = replace(settings, scale=args.scale)
+    if args.workloads is not None:
+        settings = replace(settings, suite=_parse_workloads(args.workloads, parser))
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    return replace(
+        settings,
+        jobs=args.jobs,
+        results_dir=args.results_dir,
+        use_store=not args.no_store,
+    )
+
+
+def parse_args(description: str, argv: Optional[Sequence[str]] = None) -> Settings:
+    """Common experiment CLI; see :func:`add_settings_arguments`."""
+    parser = argparse.ArgumentParser(description=description)
+    add_settings_arguments(parser)
     args = parser.parse_args(argv)
-    settings = Settings(num_accesses=args.accesses, seed=args.seed)
-    return settings.quick() if args.quick else settings
+    return settings_from_args(args, parser)
 
 
 class SuiteRunner:
-    """Runs designs over the settings' suite with shared traces."""
+    """Runs designs over the settings' suite with shared traces.
+
+    All simulation goes through one :class:`~repro.exec.Executor`, so a
+    runner transparently gains ``-j`` parallelism and warm-store
+    restarts; per-label results are additionally memoized in-process as
+    before.
+    """
 
     def __init__(self, settings: Settings):
         self.settings = settings
@@ -70,23 +156,34 @@ class SuiteRunner:
         self.traces = TraceFactory(
             self._trace_config, settings.num_accesses, settings.seed
         )
+        self.executor = settings.make_executor()
         self._results: Dict[str, Dict[str, RunResult]] = {}
 
     def config_for(self, design: AccordDesign) -> SystemConfig:
         return scaled_system(ways=design.ways, scale=self.settings.scale)
 
+    def job_key(self, design: AccordDesign, workload: str) -> JobKey:
+        return JobKey(
+            design=design,
+            workload=workload,
+            num_accesses=self.settings.num_accesses,
+            warmup=self.settings.warmup,
+            seed=self.settings.seed,
+            scale=self.settings.scale,
+            # Subclasses may pin footprints elsewhere (Table VIII).
+            footprint_scale=self.traces.footprint_scale,
+        )
+
     def run(self, label: str, design: AccordDesign) -> Dict[str, RunResult]:
         """Run (and memoize) one design across the suite."""
         if label not in self._results:
-            self._results[label] = run_suite(
-                design,
-                self.settings.suite,
-                config=self.config_for(design),
-                traces=self.traces,
-                num_accesses=self.settings.num_accesses,
-                warmup=self.settings.warmup,
-                seed=self.settings.seed,
-            )
+            if not self.settings.suite:
+                raise WorkloadError("workload suite is empty")
+            keys = [self.job_key(design, w) for w in self.settings.suite]
+            resolved = self.executor.run(keys)
+            self._results[label] = {
+                key.workload: resolved[key] for key in keys
+            }
         return self._results[label]
 
     # -- aggregates -------------------------------------------------------

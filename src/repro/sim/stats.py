@@ -114,6 +114,29 @@ class CacheStats:
             else:
                 setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def to_dict(self) -> Dict[str, object]:
+        """Raw counters only (no derived metrics); inverse of :meth:`from_dict`."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            if f.name == "extras":
+                out["extras"] = dict(self.extras)
+            else:
+                out[f.name] = getattr(self, f.name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CacheStats":
+        """Rebuild a stats block from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown CacheStats fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        extras = kwargs.pop("extras", {})
+        stats = cls(**{k: int(v) for k, v in kwargs.items()})
+        stats.extras = {str(k): int(v) for k, v in dict(extras).items()}
+        return stats
+
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary of raw and derived values (for reports)."""
         out: Dict[str, float] = {}

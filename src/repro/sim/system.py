@@ -9,7 +9,9 @@ timing model on the measured counters. Designs are named by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict
+
 from repro.cache.geometry import CacheGeometry
 from repro.core.accord import AccordDesign, make_design
 from repro.errors import SimulationError
@@ -58,6 +60,46 @@ class RunResult:
                 f"comparing different workloads: {self.workload} vs {baseline.workload}"
             )
         return baseline.runtime_ns / self.runtime_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation; inverse of :meth:`from_dict`.
+
+        Besides the raw fields, the top level carries the derived
+        ``hit_rate`` / ``prediction_accuracy`` / ``runtime_ns`` values so
+        exported records are self-describing; :meth:`from_dict` ignores
+        them (they are recomputed from the counters).
+        """
+        return {
+            "design": asdict(self.design),
+            "workload": self.workload,
+            "stats": self.stats.to_dict(),
+            "timing": asdict(self.timing),
+            "instructions": self.instructions,
+            "hit_rate": self.hit_rate,
+            "prediction_accuracy": self.prediction_accuracy,
+            "runtime_ns": self.runtime_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            timing_data = dict(data["timing"])
+            known = {f.name for f in fields(TimingBreakdown)}
+            unknown = set(timing_data) - known
+            if unknown:
+                raise SimulationError(
+                    f"unknown TimingBreakdown fields: {sorted(unknown)}"
+                )
+            return cls(
+                design=AccordDesign(**data["design"]),
+                workload=str(data["workload"]),
+                stats=CacheStats.from_dict(data["stats"]),
+                timing=TimingBreakdown(**timing_data),
+                instructions=float(data["instructions"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed RunResult record: {exc}") from exc
 
 
 class Simulator:

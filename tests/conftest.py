@@ -6,6 +6,14 @@ from repro.cache.geometry import CacheGeometry
 from repro.utils.rng import XorShift64
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path_factory, monkeypatch):
+    """Point the on-disk result store at a per-session temp directory so
+    tests never read or pollute the user's ~/.cache/repro."""
+    root = tmp_path_factory.getbasetemp() / "repro-results"
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(root))
+
+
 @pytest.fixture
 def geom_dm():
     """Tiny direct-mapped geometry: 8KB, 64B lines -> 128 sets."""

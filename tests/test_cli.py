@@ -29,6 +29,15 @@ class TestCli:
         out = capsys.readouterr().out
         assert "PWS+GWS" in out
 
+    def test_run_parallel_with_workload_subset(self, capsys, tmp_path):
+        assert main([
+            "run", "table6_hitrate", "--accesses", "3000",
+            "--workloads", "soplex,libq", "-j", "2",
+            "--results-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PWS+GWS" in out
+
     def test_unknown_experiment(self, capsys):
         assert main(["run", "not_an_experiment"]) == 2
         err = capsys.readouterr().err
@@ -37,3 +46,40 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepCli:
+    ARGS = ["sweep", "--designs", "direct,accord:2",
+            "--workloads", "soplex,libq", "--accesses", "3000"]
+
+    def test_sweep_reports_tables(self, capsys, tmp_path):
+        assert main(self.ARGS + ["--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep: hit rate" in out
+        assert "speedup over direct-1way" in out
+        assert "4 simulated, 0 from cache" in out
+
+    def test_sweep_is_memoized_across_invocations(self, capsys, tmp_path):
+        assert main(self.ARGS + ["--results-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(self.ARGS + ["--results-dir", str(tmp_path), "-j", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated, 4 from cache" in out
+
+    def test_sweep_csv_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "sweep.csv"
+        assert main(self.ARGS + ["--results-dir", str(tmp_path / "store"),
+                                 "--csv", str(csv_path)]) == 0
+        from repro.analysis.export import load_series_csv
+
+        series = load_series_csv(str(csv_path))
+        assert "ACCORD 2-way" in series
+        assert set(series["ACCORD 2-way"]) == {"soplex", "libq"}
+
+    def test_sweep_rejects_bad_design(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--designs", "bogus:2"])
+
+    def test_sweep_rejects_duplicate_designs(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--designs", "accord:2,accord:2"])

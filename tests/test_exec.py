@@ -1,0 +1,273 @@
+"""Tests for the sweep engine: job keys, result store, executor."""
+
+import json
+
+import pytest
+
+from repro.core.accord import AccordDesign
+from repro.errors import ConfigError, ReproError
+from repro.exec import (
+    Executor,
+    JobKey,
+    ResultStore,
+    execute_job,
+    parse_design_spec,
+)
+from repro.sim.system import RunResult
+
+ACCESSES = 3000  # enough post-warmup demand reads, small enough to be fast
+
+
+def key_for(workload="libq", design=None, **overrides):
+    design = design or AccordDesign(kind="accord", ways=2)
+    kwargs = dict(num_accesses=ACCESSES, warmup=0.3, seed=7)
+    kwargs.update(overrides)
+    return JobKey(design=design, workload=workload, **kwargs)
+
+
+class TestJobKey:
+    def test_digest_is_stable(self):
+        assert key_for().digest() == key_for().digest()
+
+    @pytest.mark.parametrize("change", [
+        {"seed": 8},
+        {"num_accesses": ACCESSES + 1},
+        {"scale": 1.0 / 256.0},
+        {"warmup": 0.4},
+        {"footprint_scale": 1.0 / 64.0},
+    ])
+    def test_digest_invalidates_on_knob_change(self, change):
+        assert key_for(**change).digest() != key_for().digest()
+
+    def test_digest_invalidates_on_design_change(self):
+        other = AccordDesign(kind="accord", ways=2, pip=0.9)
+        assert key_for(design=other).digest() != key_for().digest()
+
+    def test_label_is_cosmetic(self):
+        labelled = AccordDesign(kind="accord", ways=2, label="fancy name")
+        assert key_for(design=labelled).digest() == key_for().digest()
+
+    def test_footprint_scale_defaults_to_scale(self):
+        key = key_for(scale=1.0 / 64.0)
+        assert key.footprint_scale == 1.0 / 64.0
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ConfigError):
+            key_for(num_accesses=0)
+        with pytest.raises(ConfigError):
+            key_for(warmup=1.0)
+        with pytest.raises(ConfigError):
+            key_for(scale=0.0)
+
+
+class TestRunResultRoundTrip:
+    def test_to_from_dict(self):
+        result = execute_job(key_for())
+        clone = RunResult.from_dict(result.to_dict())
+        assert clone.to_dict() == result.to_dict()
+        assert clone.hit_rate == result.hit_rate
+        assert clone.prediction_accuracy == result.prediction_accuracy
+        assert clone.runtime_ns == result.runtime_ns
+        assert clone.design == result.design
+        assert clone.stats.extras == result.stats.extras
+
+    def test_survives_json(self):
+        result = execute_job(key_for())
+        clone = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert clone.to_dict() == result.to_dict()
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ReproError):
+            RunResult.from_dict({"workload": "libq"})
+        good = execute_job(key_for()).to_dict()
+        good["timing"]["not_a_field"] = 1.0
+        with pytest.raises(ReproError):
+            RunResult.from_dict(good)
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = key_for()
+        assert store.get(key) is None
+        result = execute_job(key)
+        store.put(key, result)
+        assert key in store
+        assert len(store) == 1
+        assert store.get(key).to_dict() == result.to_dict()
+
+    def test_knob_change_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = key_for()
+        store.put(key, execute_job(key))
+        assert store.get(key_for(seed=8)) is None
+        assert store.get(key_for(num_accesses=ACCESSES + 1)) is None
+        assert store.get(key_for(scale=1.0 / 256.0)) is None
+
+    def test_corrupt_entry_discarded_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = key_for()
+        store.put(key, execute_job(key))
+        path = store.path_for(key)
+        path.write_text("{ not json", encoding="utf-8")
+        assert store.get(key) is None
+        assert not path.exists()  # discarded
+
+    def test_tampered_key_discarded(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = key_for()
+        store.put(key, execute_job(key))
+        path = store.path_for(key)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["key"]["seed"] = 99
+        path.write_text(json.dumps(record), encoding="utf-8")
+        assert store.get(key) is None
+        assert not path.exists()
+
+    def test_unwritable_store_degrades(self, tmp_path):
+        # A store rooted under a *file* can never be written (even by
+        # root, unlike a chmod'd directory).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("in the way", encoding="utf-8")
+        store = ResultStore(blocker / "sub")
+        key = key_for()
+        result = execute_job(key)
+        with pytest.warns(RuntimeWarning):
+            store.put(key, result)
+        store.put(key, result)  # subsequent puts are silent no-ops
+        assert store.get(key) is None
+
+
+class TestExecutor:
+    DESIGNS = (
+        AccordDesign(kind="direct", ways=1),
+        AccordDesign(kind="accord", ways=2),
+    )
+    WORKLOADS = ("soplex", "libq", "mcf", "sphinx")  # the quick suite
+
+    def keys(self):
+        return [
+            key_for(workload=w, design=d)
+            for d in self.DESIGNS
+            for w in self.WORKLOADS
+        ]
+
+    def test_parallel_bit_identical_to_serial(self):
+        serial = Executor(jobs=1).run(self.keys())
+        parallel = Executor(jobs=4).run(self.keys())
+        assert set(serial) == set(parallel)
+        for key, result in serial.items():
+            assert parallel[key].to_dict() == result.to_dict()
+
+    def test_warm_store_skips_simulation(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = Executor(jobs=1, store=store)
+        first = cold.run(self.keys())
+        assert cold.stats.executed == len(self.keys())
+        assert cold.stats.cached == 0
+
+        warm = Executor(jobs=1, store=ResultStore(tmp_path))
+        second = warm.run(self.keys())
+        assert warm.stats.executed == 0
+        assert warm.stats.cached == len(self.keys())
+        for key, result in first.items():
+            assert second[key].to_dict() == result.to_dict()
+
+    def test_store_invalidation_reruns(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ex = Executor(jobs=1, store=store)
+        ex.run([key_for()])
+        ex.run([key_for(seed=8)])
+        assert ex.stats.executed == 1  # different seed: not served warm
+
+    def test_duplicate_keys_run_once(self):
+        ex = Executor(jobs=1)
+        results = ex.run([key_for(), key_for()])
+        assert ex.stats.executed == 1
+        assert len(results) == 1
+
+    def test_progress_reporting(self, tmp_path):
+        events = []
+        store = ResultStore(tmp_path)
+        ex = Executor(jobs=1, store=store,
+                      progress=lambda d, t, k, s: events.append((d, t, s)))
+        ex.run([key_for()])
+        assert events == [(1, 1, "run")]
+        events.clear()
+        Executor(jobs=1, store=store,
+                 progress=lambda d, t, k, s: events.append((d, t, s))
+                 ).run([key_for()])
+        assert events == [(1, 1, "cached")]
+
+    def test_cached_result_keeps_caller_label(self, tmp_path):
+        store = ResultStore(tmp_path)
+        Executor(jobs=1, store=store).run([key_for()])
+        labelled = AccordDesign(kind="accord", ways=2, label="mine")
+        key = key_for(design=labelled)
+        warm = Executor(jobs=1, store=store)
+        results = warm.run([key])
+        assert warm.stats.cached == 1
+        assert results[key].design.label == "mine"
+
+    def test_simulation_errors_propagate(self):
+        bad = key_for(workload="no_such_workload")
+        with pytest.raises(ReproError):
+            Executor(jobs=1).run([bad])
+        with pytest.raises(ReproError):
+            Executor(jobs=2).run([bad, key_for(workload="also_bogus")])
+
+    def test_rejects_bad_concurrency(self):
+        with pytest.raises(ConfigError):
+            Executor(jobs=0)
+        with pytest.raises(ConfigError):
+            Executor(retries=-1)
+
+
+class TestRunSuiteRouting:
+    def test_run_suite_store_and_jobs(self, tmp_path):
+        from repro.sim.runner import run_suite
+
+        design = AccordDesign(kind="accord", ways=2)
+        store = ResultStore(tmp_path)
+        plain = run_suite(design, ["soplex", "libq"], num_accesses=ACCESSES)
+        routed = run_suite(design, ["soplex", "libq"], num_accesses=ACCESSES,
+                           jobs=2, store=store)
+        assert {w: r.to_dict() for w, r in plain.items()} == \
+               {w: r.to_dict() for w, r in routed.items()}
+        assert len(store) == 2
+
+    def test_run_suite_rejects_custom_config_when_routed(self, tmp_path):
+        from repro.params.system import scaled_system
+        from repro.sim.runner import run_suite
+
+        design = AccordDesign(kind="accord", ways=2)
+        custom = scaled_system(ways=2).with_dram_cache(2 * 1024 * 1024, 2)
+        with pytest.raises(ConfigError):
+            run_suite(design, ["soplex"], config=custom,
+                      num_accesses=ACCESSES, store=ResultStore(tmp_path))
+
+
+class TestDesignSpecParsing:
+    def test_kind_only(self):
+        assert parse_design_spec("direct") == AccordDesign(kind="direct", ways=1)
+
+    def test_kind_and_ways(self):
+        assert parse_design_spec("accord:2") == AccordDesign(kind="accord", ways=2)
+
+    def test_sws_hashes_positional(self):
+        design = parse_design_spec("sws:8:4")
+        assert design.ways == 8 and design.hashes == 4
+
+    def test_key_value_fields(self):
+        design = parse_design_spec("pws:2:pip=0.9")
+        assert design.pip == 0.9
+        design = parse_design_spec("accord:2:replacement=lru:region_size=8192")
+        assert design.replacement == "lru" and design.region_size == 8192
+
+    @pytest.mark.parametrize("bad", [
+        "", "bogus", "accord:two", "accord:2:pip", "accord:2:nope=1",
+        "pws:2:pip=abc",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ConfigError):
+            parse_design_spec(bad)

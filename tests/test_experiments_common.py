@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.experiments.common import Settings, baseline_design, parse_args
+from repro.experiments.common import (
+    Settings,
+    SuiteRunner,
+    baseline_design,
+    parse_args,
+)
 from repro.workloads.spec import main_suite
 
 
@@ -38,6 +43,79 @@ class TestParseArgs:
     def test_quick_flag(self):
         settings = parse_args("d", ["--quick"])
         assert len(settings.suite) == 4
+
+    def test_explicit_accesses_wins_over_quick(self):
+        settings = parse_args("d", ["--quick", "--accesses", "123456"])
+        assert settings.num_accesses == 123456
+        assert len(settings.suite) == 4  # quick suite still applies
+
+    def test_workloads_subset(self):
+        settings = parse_args("d", ["--workloads", "soplex,mcf,mix3"])
+        assert settings.suite == ["soplex", "mcf", "mix3"]
+
+    def test_workloads_override_quick_suite(self):
+        settings = parse_args("d", ["--quick", "--workloads", "libq"])
+        assert settings.suite == ["libq"]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_args("d", ["--workloads", "not_a_workload"])
+
+    def test_scale(self):
+        settings = parse_args("d", ["--scale", "0.0078125"])
+        assert settings.scale == 0.0078125
+        with pytest.raises(SystemExit):
+            parse_args("d", ["--scale", "2.0"])
+
+    def test_executor_flags(self):
+        settings = parse_args(
+            "d", ["-j", "4", "--results-dir", "/tmp/x", "--no-store"]
+        )
+        assert settings.jobs == 4
+        assert settings.results_dir == "/tmp/x"
+        assert settings.use_store is False
+        with pytest.raises(SystemExit):
+            parse_args("d", ["-j", "0"])
+
+
+class TestSuiteRunnerExecution:
+    def settings(self, tmp_path, jobs=1):
+        return Settings(
+            num_accesses=3000,
+            suite=["soplex", "libq"],
+            jobs=jobs,
+            results_dir=str(tmp_path),
+        )
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = SuiteRunner(self.settings(tmp_path / "a"))
+        parallel = SuiteRunner(self.settings(tmp_path / "b", jobs=2))
+        design = baseline_design()
+        left = serial.run("direct", design)
+        right = parallel.run("direct", design)
+        assert {w: r.to_dict() for w, r in left.items()} == \
+               {w: r.to_dict() for w, r in right.items()}
+
+    def test_warm_restart_skips_simulation(self, tmp_path):
+        design = baseline_design()
+        cold = SuiteRunner(self.settings(tmp_path))
+        cold.run("direct", design)
+        assert cold.executor.stats.executed == 2
+
+        warm = SuiteRunner(self.settings(tmp_path))
+        warm.run("direct", design)
+        assert warm.executor.stats.executed == 0
+        assert warm.executor.stats.cached == 2
+
+    def test_store_disabled(self, tmp_path):
+        settings = self.settings(tmp_path)
+        settings.use_store = False
+        runner = SuiteRunner(settings)
+        runner.run("direct", baseline_design())
+        assert runner.executor.store is None
+        rerun = SuiteRunner(settings)
+        rerun.run("direct", baseline_design())
+        assert rerun.executor.stats.executed == 2
 
 
 class TestBaseline:
