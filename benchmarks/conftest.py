@@ -10,11 +10,15 @@ default) to keep the whole suite in minutes; run the experiment modules
 directly (`python -m repro.experiments.<name>`) for full-length runs.
 """
 
+import os
+
 import pytest
 
 from repro.experiments.common import Settings
 
-BENCH_ACCESSES = 40_000
+#: Trace length per benchmark. CI's smoke job shrinks it via the
+#: environment (quick mode); local runs keep the full default.
+BENCH_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", 40_000))
 
 
 @pytest.fixture(autouse=True)

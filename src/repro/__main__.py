@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig10_speedup_2way [--accesses N] [--quick] [-j 4]
     python -m repro run all [--quick]     # every experiment, in order
     python -m repro sweep --designs direct,accord:2,sws:8:2 [-j 8]
+    python -m repro profile soplex        # workload trace characteristics
     python -m repro info                  # system configuration summary
 
 ``run`` and ``sweep`` share the executor flags: ``--jobs/-j`` fans
@@ -94,6 +95,35 @@ def _progress(done: int, total: int, key, source: str) -> None:
     print(f"[{done}/{total}] {key.display} ({source})", file=sys.stderr)
 
 
+def _cmd_profile(args: argparse.Namespace,
+                 parser: argparse.ArgumentParser) -> int:
+    from repro.errors import ReproError
+    from repro.params.system import scaled_system
+    from repro.sim.profile import profile_trace
+    from repro.sim.runner import TraceFactory
+
+    if not 0.0 < args.scale <= 1.0:
+        parser.error("--scale must be in (0, 1]")
+    if args.accesses <= 0:
+        parser.error("--accesses must be positive")
+    try:
+        factory = TraceFactory(
+            scaled_system(ways=1, scale=args.scale), args.accesses, args.seed
+        )
+        trace = factory.trace_for(args.workload)
+        profile = profile_trace(
+            trace,
+            region_window=args.region_window,
+            reuse_distances=not args.no_reuse,
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+    print(f"Trace profile: {args.workload} "
+          f"(scale {args.scale:g}, seed {args.seed})")
+    print(profile.summary())
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace,
                parser: argparse.ArgumentParser) -> int:
     from repro.analysis.export import save_series_csv
@@ -104,6 +134,8 @@ def _cmd_sweep(args: argparse.Namespace,
     from repro.sim.runner import mean_hit_rate
 
     settings = settings_from_args(args, parser)
+    if args.phase_csv and settings.epoch is None:
+        parser.error("--phase-csv requires --epoch-metrics")
     try:
         designs = [
             parse_design_spec(spec)
@@ -129,6 +161,7 @@ def _cmd_sweep(args: argparse.Namespace,
                 warmup=settings.warmup,
                 seed=settings.seed,
                 scale=settings.scale,
+                epoch=settings.epoch,
             )
             for workload in settings.suite
         ]
@@ -155,6 +188,17 @@ def _cmd_sweep(args: argparse.Namespace,
         f"{label}={mean_hit_rate(results):.3f}"
         for label, results in per_design.items()
     ))
+
+    if args.phase_csv:
+        from repro.analysis.export import save_phases_csv
+        from repro.errors import SimulationError
+
+        try:
+            save_phases_csv(per_design, args.phase_csv)
+        except SimulationError as exc:
+            print(f"phase CSV not written: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.phase_csv}")
 
     csv_columns = hit_columns
     if len(designs) > 1:
@@ -206,9 +250,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sweep_parser.add_argument("--csv", default=None,
                               help="also write the sweep table as tidy CSV")
+    sweep_parser.add_argument("--phase-csv", default=None, dest="phase_csv",
+                              help="write per-epoch phase metrics as tidy CSV "
+                                   "(requires --epoch-metrics)")
     sweep_parser.add_argument("--progress", action="store_true",
                               help="print per-job progress to stderr")
     add_settings_arguments(sweep_parser)
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile a workload trace (footprint, runs, reuse distances)",
+    )
+    profile_parser.add_argument("workload",
+                                help="workload or mix name (see workloads/)")
+    profile_parser.add_argument("--accesses", type=int, default=150_000,
+                                help="trace length to generate (default 150000)")
+    profile_parser.add_argument("--seed", type=int, default=7)
+    profile_parser.add_argument("--scale", type=float, default=1.0 / 128.0,
+                                help="system scale factor in (0, 1] "
+                                     "(default 1/128: 32MB cache)")
+    profile_parser.add_argument("--region-window", type=int, default=64,
+                                help="recent-region window (RLT-sized, "
+                                     "default 64)")
+    profile_parser.add_argument("--no-reuse", action="store_true",
+                                help="skip the reuse-distance estimate "
+                                     "(faster on long traces)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -217,6 +282,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_info()
     if args.command == "sweep":
         return _cmd_sweep(args, parser)
+    if args.command == "profile":
+        return _cmd_profile(args, parser)
     passthrough: List[str] = []
     if args.accesses is not None:
         passthrough += ["--accesses", str(args.accesses)]
@@ -234,6 +301,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         passthrough += ["--results-dir", args.results_dir]
     if args.no_store:
         passthrough += ["--no-store"]
+    if args.epoch_metrics is not None:
+        passthrough += ["--epoch-metrics", str(args.epoch_metrics)]
     return _cmd_run(args.names, passthrough)
 
 

@@ -106,3 +106,61 @@ def runs_to_csv(
             row.append(repr(resolve(record, path)))
         writer.writerow(row)
     return buffer.getvalue()
+
+
+# Columns of the phase-resolved CSV, in order. Raw counters come first,
+# then the derived per-epoch rates.
+PHASE_CSV_COLUMNS = (
+    "series", "workload", "epoch_index", "start_access", "accesses",
+    "hits", "predicted_hits", "correct_predictions",
+    "nvm_reads", "nvm_writes", "writebacks",
+    "hit_rate", "prediction_accuracy",
+)
+
+
+def phases_to_csv(columns: Dict[str, Dict[str, "RunResult"]]) -> str:  # noqa: F821
+    """Render phase-resolved runs as tidy CSV, one row per epoch.
+
+    ``columns`` maps series label (usually a design name) -> workload ->
+    :class:`~repro.sim.system.RunResult`. Runs without recorded phases
+    (``--epoch-metrics`` off, or the CA-cache baseline) are skipped; if
+    *no* run carries phases the export fails loudly rather than writing
+    an empty file.
+    """
+    if not columns:
+        raise SimulationError("no series to export")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(PHASE_CSV_COLUMNS)
+    rows = 0
+    for series, per_workload in columns.items():
+        for workload, result in per_workload.items():
+            phases = getattr(result, "phases", None)
+            if phases is None:
+                continue
+            for sample in phases:
+                writer.writerow([
+                    series, workload, sample.index, sample.start_access,
+                    sample.accesses, sample.hits, sample.predicted_hits,
+                    sample.correct_predictions, sample.nvm_reads,
+                    sample.nvm_writes, sample.writebacks,
+                    repr(sample.hit_rate), repr(sample.prediction_accuracy),
+                ])
+                rows += 1
+    if not rows:
+        raise SimulationError(
+            "no phase-resolved results to export (run with --epoch-metrics)"
+        )
+    return buffer.getvalue()
+
+
+def save_phases_csv(
+    columns: Dict[str, Dict[str, "RunResult"]], path: str  # noqa: F821
+) -> None:
+    """Write :func:`phases_to_csv` output to a file.
+
+    Renders before opening so a failed export never truncates ``path``.
+    """
+    text = phases_to_csv(columns)
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(text)

@@ -20,7 +20,16 @@ from repro.cache.lookup import (
     SerialLookup,
     WayPredictedLookup,
 )
+from repro.cache.access_path import AccessPath
 from repro.cache.dram_cache import AccessOutcome, DramCache
+from repro.cache.events import (
+    AccessObserver,
+    EvictEvent,
+    FillEvent,
+    LookupEvent,
+    StatsObserver,
+    WritebackEvent,
+)
 from repro.cache.ca_cache import ColumnAssociativeCache
 from repro.cache.sram import SramCache
 from repro.cache.dcp import DcpDirectory
@@ -39,6 +48,13 @@ __all__ = [
     "SerialLookup",
     "WayPredictedLookup",
     "AccessOutcome",
+    "AccessPath",
+    "AccessObserver",
+    "LookupEvent",
+    "FillEvent",
+    "EvictEvent",
+    "WritebackEvent",
+    "StatsObserver",
     "DramCache",
     "ColumnAssociativeCache",
     "SramCache",

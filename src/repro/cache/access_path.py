@@ -1,0 +1,306 @@
+"""The access path: executes the DRAM cache's lookup/fill/writeback flow.
+
+Decomposed out of :class:`~repro.cache.dram_cache.DramCache` so that the
+*flow* (which policies are consulted, in what order, with what cost
+identities) lives in one place and is observable. The path emits typed
+events (:mod:`repro.cache.events`) to registered observers; the cache's
+own :class:`~repro.sim.stats.CacheStats` accounting is the inlined
+counters-only fast path — when no observer is registered, no event
+object is ever constructed, so the hot loop runs at seed speed. The
+inlined accounting is, line for line, the
+:class:`~repro.cache.events.StatsObserver` specification; the
+equivalence tests assert the two bit-identical for every design.
+
+The path reads its components (store, lookup flow, steering, predictor,
+replacement, DCP, stats) from the owning cache *at call time*, because
+design factories and the simulator legitimately swap them after
+construction (``cache.predictor = PerfectPredictor(...)``,
+``cache.stats = CacheStats()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.cache.events import (
+    AccessObserver,
+    EvictEvent,
+    FillEvent,
+    LookupEvent,
+    WritebackEvent,
+)
+from repro.cache.lookup import LookupResult
+from repro.errors import PolicyError
+
+if TYPE_CHECKING:  # owning-cache hint only; no runtime cycle
+    from repro.cache.dram_cache import DramCache
+
+
+@dataclass
+class AccessOutcome:
+    """What one demand access did (returned to the caller/simulator)."""
+
+    hit: bool
+    way: Optional[int]
+    serialized_accesses: int
+    nvm_read: bool
+    prediction_used: bool
+    prediction_correct: bool
+
+
+class AccessPath:
+    """Executes accesses for one :class:`DramCache`, emitting events."""
+
+    def __init__(self, cache: "DramCache"):
+        self.cache = cache
+        self.observers: List[AccessObserver] = []
+
+    # -- observer registry --------------------------------------------------
+
+    def add_observer(self, observer: AccessObserver) -> None:
+        """Register an observer; events arrive in registration order."""
+        self.observers.append(observer)
+
+    def remove_observer(self, observer: AccessObserver) -> None:
+        """Unregister an observer (no-op if it was never registered)."""
+        try:
+            self.observers.remove(observer)
+        except ValueError:
+            pass
+
+    # -- demand reads -------------------------------------------------------
+
+    def read(self, addr: int) -> AccessOutcome:
+        """Service one demand read; fills the line on a miss."""
+        cache = self.cache
+        stats = cache.stats
+        stats.demand_reads += 1
+        set_index, tag = cache.geometry.split(addr)
+        candidates = cache.steering.candidate_ways(set_index, tag)
+        result = cache.lookup.lookup(
+            set_index, tag, addr, cache.store, candidates, cache.predictor
+        )
+        self._charge_lookup(result)
+        if result.hit:
+            update_transfers = self._note_hit(set_index, tag, addr, result)
+            if self.observers:
+                self._emit_lookup(addr, set_index, tag, result, update_transfers)
+            return AccessOutcome(
+                hit=True,
+                way=result.way,
+                serialized_accesses=result.serialized_accesses,
+                nvm_read=False,
+                prediction_used=result.predicted_way is not None,
+                prediction_correct=result.prediction_correct,
+            )
+        if self.observers:
+            self._emit_lookup(addr, set_index, tag, result, 0)
+        way = self._fill(set_index, tag, addr, dirty=False)
+        return AccessOutcome(
+            hit=False,
+            way=way,
+            serialized_accesses=result.serialized_accesses,
+            nvm_read=True,
+            prediction_used=result.predicted_way is not None,
+            prediction_correct=False,
+        )
+
+    # -- LLC writebacks -----------------------------------------------------
+
+    def writeback(self, addr: int) -> bool:
+        """Absorb a dirty writeback from the LLC.
+
+        Returns True if the line was written into the cache, False if it
+        bypassed to main memory.
+        """
+        cache = self.cache
+        stats = cache.stats
+        stats.writebacks_in += 1
+        set_index, tag = cache.geometry.split(addr)
+        line = cache.geometry.line_addr(addr)
+        dcp = cache.dcp
+        way: Optional[int] = None
+        probes = 0
+        dcp_hit = False
+        if dcp is not None:
+            way = dcp.lookup(line)
+            dcp_hit = way is not None
+            if way is None and dcp.authoritative:
+                # An exact directory's miss proves absence: bypass.
+                stats.writeback_bypass += 1
+                stats.nvm_writes += 1
+                if self.observers:
+                    self._emit_writeback(
+                        addr, set_index, tag, absorbed=False, way=None,
+                        probes=0, dcp_hit=False, bypassed_by_dcp=True,
+                    )
+                return False
+            if way is not None and cache.store.tag_at(set_index, way) != tag:
+                raise PolicyError("DCP directory out of sync with the tag store")
+        if way is None:
+            # No way information (no DCP, or a finite DCP forgot the
+            # line): the writeback must probe the candidate ways. The
+            # steering policy may hand back any iterable; materialize it
+            # once so probe counting (len / index) is well-defined.
+            candidates = tuple(cache.steering.candidate_ways(set_index, tag))
+            way = cache.store.find_way_among(set_index, tag, candidates)
+            probes = len(candidates) if way is None else candidates.index(way) + 1
+            stats.writeback_probe_accesses += probes
+            stats.cache_read_transfers += probes
+            if way is None:
+                stats.writeback_bypass += 1
+                stats.nvm_writes += 1
+                if self.observers:
+                    self._emit_writeback(
+                        addr, set_index, tag, absorbed=False, way=None,
+                        probes=probes, dcp_hit=False, bypassed_by_dcp=False,
+                    )
+                return False
+            if dcp is not None:
+                dcp.insert(line, way)  # re-learn the way
+        cache.store.set_dirty(set_index, way, True)
+        stats.writeback_direct += 1
+        stats.cache_write_transfers += 1
+        cache.replacement.on_hit(set_index, way)
+        if self.observers:
+            self._emit_writeback(
+                addr, set_index, tag, absorbed=True, way=way,
+                probes=probes, dcp_hit=dcp_hit, bypassed_by_dcp=False,
+            )
+        return True
+
+    # -- internals ----------------------------------------------------------
+
+    def _charge_lookup(self, result: LookupResult) -> None:
+        stats = self.cache.stats
+        stats.first_probes += 1
+        if result.hit:
+            stats.hit_extra_probes += result.serialized_accesses - 1
+        else:
+            stats.miss_extra_probes += result.serialized_accesses - 1
+        stats.cache_read_transfers += result.transfers
+
+    def _note_hit(
+        self, set_index: int, tag: int, addr: int, result: LookupResult
+    ) -> int:
+        """Account a demand hit; returns the replacement transfers charged."""
+        cache = self.cache
+        stats = cache.stats
+        stats.hits += 1
+        if result.predicted_way is not None:
+            stats.predicted_hits += 1
+            if result.prediction_correct:
+                stats.correct_predictions += 1
+        cache.replacement.on_hit(set_index, result.way)
+        update_transfers = cache.replacement.update_transfers_on_hit
+        stats.replacement_update_transfers += update_transfers
+        if cache.predictor is not None:
+            cache.predictor.on_access(set_index, tag, addr, result.way, True)
+        return update_transfers
+
+    def _fill(self, set_index: int, tag: int, addr: int, dirty: bool) -> int:
+        """Fetch the line from NVM and install it."""
+        cache = self.cache
+        stats = cache.stats
+        stats.misses += 1
+        stats.nvm_reads += 1
+        if cache.predictor is not None:
+            cache.predictor.on_access(set_index, tag, addr, None, False)
+        way = cache.steering.choose_install_way(
+            set_index, tag, addr, cache.store, cache.replacement
+        )
+        if way not in cache.steering.candidate_ways(set_index, tag):
+            raise PolicyError(
+                f"steering installed into way {way}, outside its candidate set"
+            )
+        self._evict(set_index, way)
+        cache.store.install(set_index, way, tag, dirty=dirty)
+        stats.installs += 1
+        stats.cache_write_transfers += 1
+        cache.replacement.on_install(set_index, way)
+        cache.steering.on_install(set_index, tag, addr, way)
+        if cache.predictor is not None:
+            cache.predictor.on_install(set_index, tag, addr, way)
+        if cache.dcp is not None:
+            cache.dcp.insert(cache.geometry.line_addr(addr), way)
+        if self.observers:
+            event = FillEvent(
+                addr=addr, set_index=set_index, tag=tag, way=way, dirty=dirty
+            )
+            for observer in self.observers:
+                observer.on_fill(event)
+        return way
+
+    def _evict(self, set_index: int, way: int) -> None:
+        cache = self.cache
+        stats = cache.stats
+        if not cache.store.is_valid(set_index, way):
+            return
+        victim_tag = cache.store.tag_at(set_index, way)
+        dirty = cache.store.is_dirty(set_index, way)
+        stats.evictions += 1
+        if dirty:
+            stats.dirty_evictions += 1
+            stats.nvm_writes += 1
+        if cache.predictor is not None:
+            cache.predictor.on_evict(set_index, victim_tag, way)
+        if cache.dcp is not None:
+            victim_addr = cache.geometry.addr_of(set_index, victim_tag)
+            cache.dcp.remove(cache.geometry.line_addr(victim_addr))
+        cache.store.invalidate(set_index, way)
+        if self.observers:
+            event = EvictEvent(
+                set_index=set_index, way=way, victim_tag=victim_tag, dirty=dirty
+            )
+            for observer in self.observers:
+                observer.on_evict(event)
+
+    # -- event emission -----------------------------------------------------
+
+    def _emit_lookup(
+        self,
+        addr: int,
+        set_index: int,
+        tag: int,
+        result: LookupResult,
+        update_transfers: int,
+    ) -> None:
+        event = LookupEvent(
+            addr=addr,
+            set_index=set_index,
+            tag=tag,
+            hit=result.hit,
+            way=result.way,
+            serialized_accesses=result.serialized_accesses,
+            transfers=result.transfers,
+            predicted_way=result.predicted_way,
+            prediction_correct=result.prediction_correct,
+            replacement_update_transfers=update_transfers,
+        )
+        for observer in self.observers:
+            observer.on_lookup(event)
+
+    def _emit_writeback(
+        self,
+        addr: int,
+        set_index: int,
+        tag: int,
+        absorbed: bool,
+        way: Optional[int],
+        probes: int,
+        dcp_hit: bool,
+        bypassed_by_dcp: bool,
+    ) -> None:
+        event = WritebackEvent(
+            addr=addr,
+            set_index=set_index,
+            tag=tag,
+            absorbed=absorbed,
+            way=way,
+            probes=probes,
+            dcp_hit=dcp_hit,
+            bypassed_by_dcp=bypassed_by_dcp,
+        )
+        for observer in self.observers:
+            observer.on_writeback(event)

@@ -1,10 +1,18 @@
 """The DRAM cache: functional model with full cost accounting.
 
 Combines a tag store, a lookup flow, an install-steering policy, a way
-predictor and a replacement policy. Every access updates
+predictor and a replacement policy. The lookup/fill/writeback *flow*
+lives in :class:`~repro.cache.access_path.AccessPath`; this class owns
+the components and exposes the stable ``read``/``writeback``/``stats``
+surface the simulators drive. Every access updates
 :class:`repro.sim.stats.CacheStats`; the timing models turn those
 counters into runtime, and the tests assert the Table I cost identities
 directly against them.
+
+Observers (:mod:`repro.cache.events`) can be attached to see the typed
+event stream of every access — per-phase metrics, alternative stats
+sinks, policy debugging — without touching the counters-only fast path:
+with no observer registered the hot loop builds no event objects.
 
 Writebacks from the LLC use the paper's extended DCP scheme (Section
 II-B.3): the L3 keeps a presence bit *plus way bits* per line, so a
@@ -16,32 +24,23 @@ probe candidate ways to locate the line.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
+from repro.cache.access_path import AccessOutcome, AccessPath
 from repro.cache.dcp import DcpDirectory
 from repro.cache.geometry import CacheGeometry
-from repro.cache.lookup import LookupResult, WayPredictedLookup
+from repro.cache.lookup import WayPredictedLookup
 from repro.cache.replacement import RandomReplacement, ReplacementPolicy
 from repro.cache.storage import TagStore
 from repro.errors import PolicyError
 from repro.sim.stats import CacheStats
 
 if TYPE_CHECKING:  # import direction is core -> cache; hints only here
+    from repro.cache.events import AccessObserver
     from repro.core.prediction import WayPredictor
     from repro.core.steering import InstallSteering
 
-
-@dataclass
-class AccessOutcome:
-    """What one demand access did (returned to the caller/simulator)."""
-
-    hit: bool
-    way: Optional[int]
-    serialized_accesses: int
-    nvm_read: bool
-    prediction_used: bool
-    prediction_correct: bool
+__all__ = ["AccessOutcome", "DramCache"]
 
 
 class DramCache:
@@ -57,6 +56,7 @@ class DramCache:
         dcp: Optional[DcpDirectory] = "default",
         stats: Optional[CacheStats] = None,
         prefill: bool = True,
+        observers: Iterable["AccessObserver"] = (),
     ):
         if steering.geometry.ways != geometry.ways:
             raise PolicyError("steering geometry does not match the cache")
@@ -70,44 +70,34 @@ class DramCache:
         self.replacement = replacement or RandomReplacement()
         self.dcp = DcpDirectory() if dcp == "default" else dcp
         self.stats = stats or CacheStats()
+        self.path = AccessPath(self)
+        for observer in observers:
+            self.path.add_observer(observer)
         if prefill:
             # A gigascale cache in steady state is full; start warm so
             # replacement (not empty-way filling) governs installs.
             self.store.prefill_junk()
 
-    # -- demand reads -------------------------------------------------------
+    # -- observers ----------------------------------------------------------
+
+    @property
+    def observers(self):
+        """Observers currently attached to the access path."""
+        return tuple(self.path.observers)
+
+    def add_observer(self, observer: "AccessObserver") -> None:
+        """Attach an event observer (see :mod:`repro.cache.events`)."""
+        self.path.add_observer(observer)
+
+    def remove_observer(self, observer: "AccessObserver") -> None:
+        """Detach an event observer (no-op if not attached)."""
+        self.path.remove_observer(observer)
+
+    # -- accesses -----------------------------------------------------------
 
     def read(self, addr: int) -> AccessOutcome:
         """Service one demand read; fills the line on a miss."""
-        stats = self.stats
-        stats.demand_reads += 1
-        set_index, tag = self.geometry.split(addr)
-        candidates = self.steering.candidate_ways(set_index, tag)
-        result = self.lookup.lookup(
-            set_index, tag, addr, self.store, candidates, self.predictor
-        )
-        self._charge_lookup(result)
-        if result.hit:
-            self._note_hit(set_index, tag, addr, result)
-            return AccessOutcome(
-                hit=True,
-                way=result.way,
-                serialized_accesses=result.serialized_accesses,
-                nvm_read=False,
-                prediction_used=result.predicted_way is not None,
-                prediction_correct=result.prediction_correct,
-            )
-        way = self._fill(set_index, tag, addr, dirty=False)
-        return AccessOutcome(
-            hit=False,
-            way=way,
-            serialized_accesses=result.serialized_accesses,
-            nvm_read=True,
-            prediction_used=result.predicted_way is not None,
-            prediction_correct=False,
-        )
-
-    # -- LLC writebacks -----------------------------------------------------
+        return self.path.read(addr)
 
     def writeback(self, addr: int) -> bool:
         """Absorb a dirty writeback from the LLC.
@@ -115,106 +105,7 @@ class DramCache:
         Returns True if the line was written into the cache, False if it
         bypassed to main memory.
         """
-        stats = self.stats
-        stats.writebacks_in += 1
-        set_index, tag = self.geometry.split(addr)
-        line = self.geometry.line_addr(addr)
-        way = None
-        if self.dcp is not None:
-            way = self.dcp.lookup(line)
-            if way is None and getattr(self.dcp, "authoritative", True):
-                # An exact directory's miss proves absence: bypass.
-                stats.writeback_bypass += 1
-                stats.nvm_writes += 1
-                return False
-            if way is not None and self.store.tag_at(set_index, way) != tag:
-                raise PolicyError("DCP directory out of sync with the tag store")
-        if way is None:
-            # No way information (no DCP, or a finite DCP forgot the
-            # line): the writeback must probe the candidate ways.
-            candidates = self.steering.candidate_ways(set_index, tag)
-            way = self.store.find_way_among(set_index, tag, candidates)
-            probes = (
-                len(candidates) if way is None else list(candidates).index(way) + 1
-            )
-            stats.writeback_probe_accesses += probes
-            stats.cache_read_transfers += probes
-            if way is None:
-                stats.writeback_bypass += 1
-                stats.nvm_writes += 1
-                return False
-            if self.dcp is not None:
-                self.dcp.insert(line, way)  # re-learn the way
-        self.store.set_dirty(set_index, way, True)
-        stats.writeback_direct += 1
-        stats.cache_write_transfers += 1
-        self.replacement.on_hit(set_index, way)
-        return True
-
-    # -- internals ----------------------------------------------------------
-
-    def _charge_lookup(self, result: LookupResult) -> None:
-        stats = self.stats
-        stats.first_probes += 1
-        if result.hit:
-            stats.hit_extra_probes += result.serialized_accesses - 1
-        else:
-            stats.miss_extra_probes += result.serialized_accesses - 1
-        stats.cache_read_transfers += result.transfers
-
-    def _note_hit(self, set_index: int, tag: int, addr: int, result: LookupResult) -> None:
-        stats = self.stats
-        stats.hits += 1
-        if result.predicted_way is not None:
-            stats.predicted_hits += 1
-            if result.prediction_correct:
-                stats.correct_predictions += 1
-        self.replacement.on_hit(set_index, result.way)
-        stats.replacement_update_transfers += self.replacement.update_transfers_on_hit
-        if self.predictor is not None:
-            self.predictor.on_access(set_index, tag, addr, result.way, True)
-
-    def _fill(self, set_index: int, tag: int, addr: int, dirty: bool) -> int:
-        """Fetch the line from NVM and install it."""
-        stats = self.stats
-        stats.misses += 1
-        stats.nvm_reads += 1
-        if self.predictor is not None:
-            self.predictor.on_access(set_index, tag, addr, None, False)
-        way = self.steering.choose_install_way(
-            set_index, tag, addr, self.store, self.replacement
-        )
-        if way not in self.steering.candidate_ways(set_index, tag):
-            raise PolicyError(
-                f"steering installed into way {way}, outside its candidate set"
-            )
-        self._evict(set_index, way)
-        self.store.install(set_index, way, tag, dirty=dirty)
-        stats.installs += 1
-        stats.cache_write_transfers += 1
-        self.replacement.on_install(set_index, way)
-        self.steering.on_install(set_index, tag, addr, way)
-        if self.predictor is not None:
-            self.predictor.on_install(set_index, tag, addr, way)
-        if self.dcp is not None:
-            self.dcp.insert(self.geometry.line_addr(addr), way)
-        return way
-
-    def _evict(self, set_index: int, way: int) -> None:
-        stats = self.stats
-        if not self.store.is_valid(set_index, way):
-            return
-        victim_tag = self.store.tag_at(set_index, way)
-        stats.evictions += 1
-        if self.store.is_dirty(set_index, way):
-            stats.dirty_evictions += 1
-            stats.nvm_writes += 1
-        if self.predictor is not None:
-            self.predictor.on_evict(set_index, victim_tag, way)
-        if self.dcp is not None:
-            victim_addr = self.geometry.addr_of(set_index, victim_tag)
-            self.dcp.remove(self.geometry.line_addr(victim_addr))
-        self.store.invalidate(set_index, way)
+        return self.path.writeback(addr)
 
     # -- introspection ------------------------------------------------------
 

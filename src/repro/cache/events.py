@@ -1,0 +1,156 @@
+"""Typed access events emitted by the DRAM-cache access path.
+
+Every demand read, fill, eviction and LLC writeback the access path
+executes is describable as one of four events. Observers registered on
+an :class:`~repro.cache.access_path.AccessPath` receive them in flow
+order — for a missing read: ``LookupEvent``, then ``EvictEvent`` (if a
+valid victim was displaced), then ``FillEvent`` — which is what lets
+per-access dynamics (the paper's install-way vs. later-prediction
+story) be observed without instrumenting the hot loop itself.
+
+:class:`StatsObserver` is the reference observer: it reconstructs every
+:class:`~repro.sim.stats.CacheStats` counter from the event stream
+alone. The access path keeps an inlined copy of exactly this accounting
+as its counters-only fast path (no event objects are built when no
+observers are registered); the two are asserted bit-identical by the
+equivalence tests, so StatsObserver doubles as the executable
+specification of the counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.sim.stats import CacheStats
+
+
+@dataclass(frozen=True)
+class LookupEvent:
+    """One demand read's lookup outcome (hit or miss-confirmation)."""
+
+    addr: int
+    set_index: int
+    tag: int
+    hit: bool
+    way: Optional[int]  # way that hit, None on a miss
+    serialized_accesses: int  # dependent DRAM accesses (latency dimension)
+    transfers: int  # 72B tag+data bus transfers (bandwidth dimension)
+    predicted_way: Optional[int]  # first-probe way, None without a predictor
+    prediction_correct: bool
+    # Extra write transfers the replacement policy charged for this hit
+    # (0 on misses and for update-free policies like random).
+    replacement_update_transfers: int = 0
+
+
+@dataclass(frozen=True)
+class EvictEvent:
+    """A valid line displaced ahead of a fill."""
+
+    set_index: int
+    way: int
+    victim_tag: int
+    dirty: bool  # dirty victims cost one NVM write
+
+
+@dataclass(frozen=True)
+class FillEvent:
+    """A line fetched from NVM and installed."""
+
+    addr: int
+    set_index: int
+    tag: int
+    way: int
+    dirty: bool  # installed dirty (writeback-allocate paths)
+
+
+@dataclass(frozen=True)
+class WritebackEvent:
+    """An LLC writeback absorbed by the cache or bypassed to NVM."""
+
+    addr: int
+    set_index: int
+    tag: int
+    absorbed: bool  # True: written into the cache; False: sent to NVM
+    way: Optional[int]  # way written, None when bypassed
+    probes: int  # candidate ways probed (0 when the DCP supplied the way)
+    dcp_hit: bool  # way came straight from the DCP directory
+    bypassed_by_dcp: bool  # authoritative DCP miss proved absence
+
+
+@runtime_checkable
+class AccessObserver(Protocol):
+    """Receives the typed event stream of one access path."""
+
+    def on_lookup(self, event: LookupEvent) -> None: ...
+
+    def on_fill(self, event: FillEvent) -> None: ...
+
+    def on_evict(self, event: EvictEvent) -> None: ...
+
+    def on_writeback(self, event: WritebackEvent) -> None: ...
+
+
+class StatsObserver:
+    """Rebuilds :class:`CacheStats` counters from events alone.
+
+    The executable specification of the counter semantics: attaching a
+    ``StatsObserver`` with a fresh stats block alongside the access
+    path's own (inlined) accounting must yield bit-identical counters.
+    """
+
+    def __init__(self, stats: Optional[CacheStats] = None):
+        self.stats = stats if stats is not None else CacheStats()
+
+    def on_lookup(self, event: LookupEvent) -> None:
+        stats = self.stats
+        stats.demand_reads += 1
+        stats.first_probes += 1
+        stats.cache_read_transfers += event.transfers
+        if event.hit:
+            stats.hit_extra_probes += event.serialized_accesses - 1
+            stats.hits += 1
+            if event.predicted_way is not None:
+                stats.predicted_hits += 1
+                if event.prediction_correct:
+                    stats.correct_predictions += 1
+            stats.replacement_update_transfers += event.replacement_update_transfers
+        else:
+            stats.miss_extra_probes += event.serialized_accesses - 1
+
+    def on_fill(self, event: FillEvent) -> None:
+        stats = self.stats
+        stats.misses += 1
+        stats.nvm_reads += 1
+        stats.installs += 1
+        stats.cache_write_transfers += 1
+
+    def on_evict(self, event: EvictEvent) -> None:
+        stats = self.stats
+        stats.evictions += 1
+        if event.dirty:
+            stats.dirty_evictions += 1
+            stats.nvm_writes += 1
+
+    def on_writeback(self, event: WritebackEvent) -> None:
+        stats = self.stats
+        stats.writebacks_in += 1
+        if event.probes:
+            stats.writeback_probe_accesses += event.probes
+            stats.cache_read_transfers += event.probes
+        if event.absorbed:
+            stats.writeback_direct += 1
+            stats.cache_write_transfers += 1
+        else:
+            stats.writeback_bypass += 1
+            stats.nvm_writes += 1
+
+
+__all__ = [
+    "LookupEvent",
+    "EvictEvent",
+    "FillEvent",
+    "WritebackEvent",
+    "AccessObserver",
+    "StatsObserver",
+]

@@ -13,7 +13,7 @@ a policy performs per hit so the timing model can charge them.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence
+from typing import Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -22,6 +22,7 @@ from repro.cache.storage import TagStore
 from repro.utils.rng import XorShift64
 
 
+@runtime_checkable
 class ReplacementPolicy(Protocol):
     """Chooses a victim way among candidates; tracks recency if needed."""
 

@@ -9,6 +9,7 @@ This package is the paper's contribution:
 * :mod:`repro.core.gws` — Ganged Way-Steering (RIT + RLT)
 * :mod:`repro.core.sws` — Skewed Way-Steering for N-way caches
 * :mod:`repro.core.accord` — factory wiring steering + prediction pairs
+* :mod:`repro.core.protocols` — runtime-checkable policy interfaces
 """
 
 from repro.core.steering import (
@@ -25,6 +26,13 @@ from repro.core.prediction import (
     StaticPreferredPredictor,
     WayPredictor,
 )
+from repro.core.protocols import (
+    DcpDirectoryPolicy,
+    InstallSteeringPolicy,
+    ReplacementPolicy,
+    WayPredictorPolicy,
+    ensure_policy_conformance,
+)
 from repro.core.pws import ProbabilisticWaySteering
 from repro.core.gws import GangedWaySteering, GangedWayPredictor, RecentRegionTable
 from repro.core.sws import SkewedWaySteering, alternate_way, skewed_candidates
@@ -32,6 +40,11 @@ from repro.core.accord import AccordDesign, make_accord, make_design
 
 __all__ = [
     "InstallSteering",
+    "InstallSteeringPolicy",
+    "WayPredictorPolicy",
+    "ReplacementPolicy",
+    "DcpDirectoryPolicy",
+    "ensure_policy_conformance",
     "UnbiasedSteering",
     "preferred_way",
     "region_id",

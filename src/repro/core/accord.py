@@ -35,6 +35,7 @@ from repro.core.prediction import (
     RandomPredictor,
     StaticPreferredPredictor,
 )
+from repro.core.protocols import ensure_policy_conformance
 from repro.core.pws import DEFAULT_PIP, ProbabilisticWaySteering
 from repro.core.steering import DirectMappedSteering, UnbiasedSteering
 from repro.core.sws import SkewedWaySteering
@@ -144,16 +145,20 @@ def make_design(design: AccordDesign, geometry: CacheGeometry, seed: int = 1):
     and a ``stats`` attribute.
     """
     cache = _make_design_inner(design, geometry, seed)
-    if isinstance(cache, DramCache) and design.dcp != "exact":
-        # Swap the writeback way-info source before any access happens.
-        if design.dcp == "finite":
-            from repro.cache.dcp import FiniteDcpDirectory
+    if isinstance(cache, DramCache):
+        if design.dcp != "exact":
+            # Swap the writeback way-info source before any access happens.
+            if design.dcp == "finite":
+                from repro.cache.dcp import FiniteDcpDirectory
 
-            cache.dcp = FiniteDcpDirectory()
-        elif design.dcp == "none":
-            cache.dcp = None
-        else:
-            raise PolicyError(f"unknown dcp mode {design.dcp!r}")
+                cache.dcp = FiniteDcpDirectory()
+            elif design.dcp == "none":
+                cache.dcp = None
+            else:
+                raise PolicyError(f"unknown dcp mode {design.dcp!r}")
+        # Fail at build time, not mid-run, if any policy breaks its
+        # protocol (repro.core.protocols).
+        ensure_policy_conformance(cache)
     return cache
 
 

@@ -1,0 +1,152 @@
+"""Structural interfaces for every pluggable cache policy.
+
+The access path (:mod:`repro.cache.access_path`) composes four policy
+roles — install steering, way prediction, victim replacement, and the
+DCP writeback directory. Historically the roles were defined by base
+classes plus duck-typed probes (``getattr(dcp, "authoritative",
+True)``); these :class:`typing.Protocol` definitions make the contracts
+explicit and runtime-checkable, so a policy either conforms or fails
+loudly at design-construction time instead of deep inside a run.
+
+All protocols are structural: conformance needs no inheritance, only
+the right members. The concrete policies in :mod:`repro.core` and
+:mod:`repro.cache` all satisfy them (asserted by the test suite and by
+:func:`ensure_policy_conformance`, which :func:`repro.core.accord.make_design`
+calls on every cache it assembles).
+
+Import direction note: core -> cache imports are the allowed direction,
+so this module may import :mod:`repro.cache.replacement`; the cache
+package, however, must never import this module at runtime (that would
+cycle through ``repro.core.__init__``) — cache modules name these types
+in annotations only.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.cache.replacement import ReplacementPolicy
+from repro.errors import PolicyError
+
+if TYPE_CHECKING:  # hints only; keeps the module cheap to import
+    from repro.cache.geometry import CacheGeometry
+    from repro.cache.storage import TagStore
+
+
+@runtime_checkable
+class InstallSteeringPolicy(Protocol):
+    """Decides where lines may live and where fills land.
+
+    ``candidate_ways`` defines the legal residence set for a tag (what
+    miss confirmation must probe); ``choose_install_way`` picks the fill
+    target from that set. ``on_install`` lets stateful policies (GWS's
+    RIT) observe committed installs.
+    """
+
+    name: str
+    geometry: "CacheGeometry"
+    ways: int
+
+    def candidate_ways(self, set_index: int, tag: int) -> Sequence[int]: ...
+
+    def choose_install_way(
+        self,
+        set_index: int,
+        tag: int,
+        addr: int,
+        store: "TagStore",
+        replacement: ReplacementPolicy,
+    ) -> int: ...
+
+    def on_install(self, set_index: int, tag: int, addr: int, way: int) -> None: ...
+
+    def storage_bits(self) -> int: ...
+
+
+@runtime_checkable
+class WayPredictorPolicy(Protocol):
+    """Names the way to probe first on a read.
+
+    ``on_access``/``on_install``/``on_evict`` are the observation hooks
+    stateful predictors (MRU, partial-tag, GWS's RLT) learn from; the
+    stateless predictors inherit no-op implementations.
+    """
+
+    name: str
+    geometry: "CacheGeometry"
+    ways: int
+
+    def predict(self, set_index: int, tag: int, addr: int) -> int: ...
+
+    def on_access(
+        self, set_index: int, tag: int, addr: int, way: Optional[int], hit: bool
+    ) -> None: ...
+
+    def on_install(self, set_index: int, tag: int, addr: int, way: int) -> None: ...
+
+    def on_evict(self, set_index: int, tag: int, way: int) -> None: ...
+
+    def storage_bits(self) -> int: ...
+
+
+@runtime_checkable
+class DcpDirectoryPolicy(Protocol):
+    """Writeback way-information source (the paper's extended DCP).
+
+    ``authoritative`` is the contract the access path branches on: True
+    means a ``lookup`` miss *proves* the line is absent, so a writeback
+    may bypass straight to NVM; False (a finite directory that forgets)
+    means a miss is inconclusive and the writeback must probe. This
+    replaces the old ``getattr(dcp, "authoritative", True)`` duck-typed
+    probe — every directory must declare the attribute.
+    """
+
+    authoritative: bool
+
+    def lookup(self, line_addr: int) -> Optional[int]: ...
+
+    def insert(self, line_addr: int, way: int) -> None: ...
+
+    def remove(self, line_addr: int) -> None: ...
+
+    def hit_rate(self) -> float: ...
+
+
+def ensure_policy_conformance(cache) -> None:
+    """Validate a cache's policies against the protocols.
+
+    Raises :class:`~repro.errors.PolicyError` naming the offending role.
+    Called by :func:`repro.core.accord.make_design` after assembly so a
+    malformed custom policy fails at build time, not mid-simulation.
+    """
+    checks = (
+        ("steering", getattr(cache, "steering", None), InstallSteeringPolicy, False),
+        ("predictor", getattr(cache, "predictor", None), WayPredictorPolicy, True),
+        ("replacement", getattr(cache, "replacement", None), ReplacementPolicy, False),
+        ("dcp", getattr(cache, "dcp", None), DcpDirectoryPolicy, True),
+    )
+    for role, policy, protocol, optional in checks:
+        if policy is None:
+            if optional:
+                continue
+            raise PolicyError(f"cache has no {role} policy")
+        if not isinstance(policy, protocol):
+            raise PolicyError(
+                f"{role} policy {type(policy).__name__} does not conform to "
+                f"{protocol.__name__}"
+            )
+
+
+__all__ = [
+    "InstallSteeringPolicy",
+    "WayPredictorPolicy",
+    "ReplacementPolicy",
+    "DcpDirectoryPolicy",
+    "ensure_policy_conformance",
+]

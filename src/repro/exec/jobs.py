@@ -27,7 +27,9 @@ from repro.sim.system import RunResult
 
 #: Bump whenever simulation semantics or the stored RunResult layout
 #: change in a way that invalidates previously memoized results.
-RESULT_SCHEMA_VERSION = 1
+#: v2: access-event pipeline — RunResult carries optional phase-resolved
+#: metrics and JobKey gained the ``epoch`` knob.
+RESULT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -42,6 +44,8 @@ class JobKey:
     scale: float = 1.0 / 128.0
     # None normalizes to ``scale``; cache-size sweeps pin it elsewhere.
     footprint_scale: Optional[float] = None
+    # Demand reads per phase-metrics sample; None disables the observer.
+    epoch: Optional[int] = None
 
     def __post_init__(self):
         if self.num_accesses <= 0:
@@ -50,6 +54,8 @@ class JobKey:
             raise ConfigError("warmup fraction must be in [0, 1)")
         if not 0.0 < self.scale <= 1.0:
             raise ConfigError(f"scale must be in (0, 1], got {self.scale}")
+        if self.epoch is not None and self.epoch <= 0:
+            raise ConfigError(f"epoch must be positive, got {self.epoch}")
         if self.footprint_scale is None:
             object.__setattr__(self, "footprint_scale", self.scale)
 
@@ -66,6 +72,7 @@ class JobKey:
             "seed": self.seed,
             "scale": self.scale,
             "footprint_scale": self.footprint_scale,
+            "epoch": self.epoch,
         }
 
     def digest(self) -> str:
@@ -114,6 +121,7 @@ def execute_job(key: JobKey) -> RunResult:
         num_accesses=key.num_accesses,
         warmup=key.warmup,
         seed=key.seed,
+        epoch=key.epoch,
     )
 
 

@@ -47,6 +47,9 @@ class Settings:
     jobs: int = 1
     results_dir: Optional[str] = None
     use_store: bool = True
+    # Demand reads per phase-metrics sample (--epoch-metrics); None
+    # disables phase-resolved recording.
+    epoch: Optional[int] = None
 
     def quick(self) -> "Settings":
         """A reduced configuration for smoke tests and CI."""
@@ -96,6 +99,10 @@ def add_settings_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: $REPRO_RESULTS_DIR or ~/.cache/repro)")
     parser.add_argument("--no-store", action="store_true",
                         help="disable the on-disk result store")
+    parser.add_argument("--epoch-metrics", type=int, default=None,
+                        metavar="N", dest="epoch_metrics",
+                        help="record phase-resolved metrics every N demand "
+                             "reads (default: disabled)")
 
 
 def settings_from_args(
@@ -124,11 +131,14 @@ def settings_from_args(
         settings = replace(settings, suite=_parse_workloads(args.workloads, parser))
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.epoch_metrics is not None and args.epoch_metrics <= 0:
+        parser.error("--epoch-metrics must be positive")
     return replace(
         settings,
         jobs=args.jobs,
         results_dir=args.results_dir,
         use_store=not args.no_store,
+        epoch=args.epoch_metrics,
     )
 
 
@@ -172,6 +182,7 @@ class SuiteRunner:
             scale=self.settings.scale,
             # Subclasses may pin footprints elsewhere (Table VIII).
             footprint_scale=self.traces.footprint_scale,
+            epoch=self.settings.epoch,
         )
 
     def run(self, label: str, design: AccordDesign) -> Dict[str, RunResult]:

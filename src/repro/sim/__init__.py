@@ -6,11 +6,15 @@ cache and core packages, while low-level modules like
 here would create an import cycle.
 """
 
+from repro.sim.phases import PhaseMetrics, PhaseSample, PhaseSeries
 from repro.sim.stats import CacheStats
 from repro.sim.trace import Trace, TraceRecord, trace_from_arrays
 
 __all__ = [
     "CacheStats",
+    "PhaseMetrics",
+    "PhaseSample",
+    "PhaseSeries",
     "Trace",
     "TraceRecord",
     "trace_from_arrays",

@@ -75,13 +75,18 @@ def run_design(
     num_accesses: int = DEFAULT_ACCESSES,
     warmup: float = DEFAULT_WARMUP,
     seed: int = 7,
+    epoch: Optional[int] = None,
 ) -> RunResult:
-    """Run one design on one workload; convenience entry point."""
+    """Run one design on one workload; convenience entry point.
+
+    ``epoch`` enables phase-resolved metrics: per-epoch hit-rate /
+    prediction-accuracy / NVM-traffic samples on ``RunResult.phases``.
+    """
     config = config or scaled_system(ways=design.ways)
     traces = traces or TraceFactory(config, num_accesses, seed)
     trace = traces.trace_for(workload)
     simulator = Simulator(config, design, seed=seed)
-    return simulator.run(trace, warmup_fraction=warmup)
+    return simulator.run(trace, warmup_fraction=warmup, epoch=epoch)
 
 
 def run_suite(
@@ -94,6 +99,7 @@ def run_suite(
     seed: int = 7,
     jobs: int = 1,
     store=None,
+    epoch: Optional[int] = None,
 ) -> Dict[str, RunResult]:
     """Run one design across a workload suite.
 
@@ -129,6 +135,7 @@ def run_suite(
                 seed=seed,
                 scale=config.scale,
                 footprint_scale=traces.footprint_scale,
+                epoch=epoch,
             )
             for workload in workloads
         ]
@@ -138,7 +145,7 @@ def run_suite(
     for workload in workloads:
         results[workload] = run_design(
             design, workload, config=config, traces=traces,
-            num_accesses=num_accesses, warmup=warmup, seed=seed,
+            num_accesses=num_accesses, warmup=warmup, seed=seed, epoch=epoch,
         )
     return results
 

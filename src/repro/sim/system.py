@@ -9,13 +9,14 @@ timing model on the measured counters. Designs are named by
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, fields
-from typing import Any, Dict
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Optional
 
 from repro.cache.geometry import CacheGeometry
 from repro.core.accord import AccordDesign, make_design
 from repro.errors import SimulationError
 from repro.params.system import SystemConfig
+from repro.sim.phases import PhaseMetrics, PhaseSeries
 from repro.sim.stats import CacheStats
 from repro.sim.timing_model import IntervalTimingModel, TimingBreakdown
 from repro.sim.trace import Trace
@@ -40,6 +41,9 @@ class RunResult:
     stats: CacheStats
     timing: TimingBreakdown
     instructions: float
+    # Per-epoch time series, present when the run was phase-resolved
+    # (``epoch=...`` / ``--epoch-metrics``); None otherwise.
+    phases: Optional[PhaseSeries] = field(default=None)
 
     @property
     def hit_rate(self) -> float:
@@ -75,6 +79,7 @@ class RunResult:
             "stats": self.stats.to_dict(),
             "timing": asdict(self.timing),
             "instructions": self.instructions,
+            "phases": self.phases.to_dict() if self.phases is not None else None,
             "hit_rate": self.hit_rate,
             "prediction_accuracy": self.prediction_accuracy,
             "runtime_ns": self.runtime_ns,
@@ -91,12 +96,18 @@ class RunResult:
                 raise SimulationError(
                     f"unknown TimingBreakdown fields: {sorted(unknown)}"
                 )
+            phases_data = data.get("phases")
             return cls(
                 design=AccordDesign(**data["design"]),
                 workload=str(data["workload"]),
                 stats=CacheStats.from_dict(data["stats"]),
                 timing=TimingBreakdown(**timing_data),
                 instructions=float(data["instructions"]),
+                phases=(
+                    PhaseSeries.from_dict(phases_data)
+                    if phases_data is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SimulationError(f"malformed RunResult record: {exc}") from exc
@@ -112,8 +123,20 @@ class Simulator:
         self.cache = build_dram_cache(design, config, seed=seed)
         self.timing_model = IntervalTimingModel(config)
 
-    def run(self, trace: Trace, warmup_fraction: float = 0.25) -> RunResult:
-        """Simulate a trace; statistics cover only the post-warmup part."""
+    def run(
+        self,
+        trace: Trace,
+        warmup_fraction: float = 0.25,
+        epoch: Optional[int] = None,
+    ) -> RunResult:
+        """Simulate a trace; statistics cover only the post-warmup part.
+
+        With ``epoch`` set, a :class:`PhaseMetrics` observer records
+        per-epoch time series over the measurement window (warmup is
+        excluded), returned as :attr:`RunResult.phases`. Caches without
+        an event-emitting access path (the CA-cache baseline) ignore the
+        request and report ``phases=None``.
+        """
         if not 0.0 <= warmup_fraction < 1.0:
             raise SimulationError("warmup fraction must be in [0, 1)")
         n = len(trace)
@@ -131,11 +154,20 @@ class Simulator:
                 read(addrs[i])
 
         cache.stats = CacheStats()  # measurement window starts here
-        for i in range(warm, n):
-            if writes[i]:
-                writeback(addrs[i])
-            else:
-                read(addrs[i])
+        phase_observer = None
+        if epoch is not None and hasattr(cache, "add_observer"):
+            phase_observer = PhaseMetrics(epoch)
+            cache.add_observer(phase_observer)
+        try:
+            for i in range(warm, n):
+                if writes[i]:
+                    writeback(addrs[i])
+                else:
+                    read(addrs[i])
+        finally:
+            if phase_observer is not None:
+                cache.remove_observer(phase_observer)
+        phases = phase_observer.result() if phase_observer is not None else None
 
         stats = cache.stats
         instructions = stats.demand_reads * trace.instructions_per_access
@@ -150,4 +182,5 @@ class Simulator:
             stats=stats,
             timing=timing,
             instructions=instructions,
+            phases=phases,
         )

@@ -83,3 +83,42 @@ class TestSweepCli:
     def test_sweep_rejects_duplicate_designs(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--designs", "accord:2,accord:2"])
+
+    def test_sweep_phase_csv_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "phases.csv"
+        assert main(self.ARGS + [
+            "--results-dir", str(tmp_path / "store"),
+            "--epoch-metrics", "500", "--phase-csv", str(csv_path),
+        ]) == 0
+        from repro.analysis.export import PHASE_CSV_COLUMNS
+
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == ",".join(PHASE_CSV_COLUMNS)
+        assert len(lines) > 1
+
+    def test_phase_csv_requires_epoch_metrics(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--phase-csv", "phases.csv"])
+
+    def test_rejects_nonpositive_epoch_metrics(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--epoch-metrics", "0"])
+
+
+class TestProfileCli:
+    def test_profile_prints_summary(self, capsys):
+        assert main(["profile", "soplex", "--accesses", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace profile: soplex" in out
+
+    def test_profile_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "not_a_workload", "--accesses", "2000"])
+
+    def test_profile_rejects_bad_accesses(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "soplex", "--accesses", "0"])
+
+    def test_profile_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "soplex", "--accesses", "2000", "--scale", "2"])
