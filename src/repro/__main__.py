@@ -7,6 +7,7 @@ Usage::
     python -m repro run all [--quick]     # every experiment, in order
     python -m repro sweep --designs direct,accord:2,sws:8:2 [-j 8]
     python -m repro profile soplex        # workload trace characteristics
+    python -m repro bench --quick         # hot-loop throughput (acc/s)
     python -m repro info                  # system configuration summary
 
 ``run`` and ``sweep`` share the executor flags: ``--jobs/-j`` fans
@@ -225,6 +226,60 @@ def _cmd_sweep(args: argparse.Namespace,
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    from repro.errors import ReproError
+    from repro.sim.bench import (
+        DEFAULT_ACCESSES,
+        QUICK_ACCESSES,
+        compare_to_baseline,
+        format_report,
+        load_report,
+        run_bench,
+        save_report,
+    )
+
+    accesses = args.accesses
+    if accesses is None:
+        accesses = QUICK_ACCESSES if args.quick else DEFAULT_ACCESSES
+    if accesses <= 0:
+        parser.error("--accesses must be positive")
+    if not 0.0 < args.scale <= 1.0:
+        parser.error("--scale must be in (0, 1]")
+    if not 0.0 <= args.max_regression < 1.0:
+        parser.error("--max-regression must be a fraction in [0, 1)")
+    try:
+        report = run_bench(
+            workload=args.workload,
+            num_accesses=accesses,
+            seed=args.seed,
+            scale=args.scale,
+            repeats=args.repeats,
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+    print(format_report(report))
+    if args.json:
+        save_report(report, args.json)
+        print(f"wrote {args.json}")
+    if args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        verdict = compare_to_baseline(report, baseline, args.max_regression)
+        if verdict is not None:
+            print(f"FAIL: {verdict}", file=sys.stderr)
+            return 1
+        ratio = (
+            report["aggregate_accesses_per_sec"]
+            / baseline["aggregate_accesses_per_sec"]
+        )
+        print(f"baseline check OK ({ratio:.2f}x of {args.baseline})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.experiments.common import add_settings_arguments
 
@@ -274,6 +329,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile_parser.add_argument("--no-reuse", action="store_true",
                                 help="skip the reuse-distance estimate "
                                      "(faster on long traces)")
+    bench_parser = sub.add_parser(
+        "bench",
+        help="measure functional-simulator throughput (accesses/sec)",
+    )
+    bench_parser.add_argument("--workload", default="soplex",
+                              help="workload to trace (default soplex)")
+    bench_parser.add_argument("--accesses", type=int, default=None,
+                              help="trace length (default 150000, "
+                                   "or 40000 with --quick)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="short benchmark for CI smoke runs")
+    bench_parser.add_argument("--seed", type=int, default=7)
+    bench_parser.add_argument("--scale", type=float, default=1.0 / 128.0,
+                              help="system scale factor in (0, 1] "
+                                   "(default 1/128: 32MB cache)")
+    bench_parser.add_argument("--repeats", type=int, default=3,
+                              help="timed runs per design; best is kept "
+                                   "(default 3)")
+    bench_parser.add_argument("--json", default=None,
+                              help="write the report as JSON to this path")
+    bench_parser.add_argument("--baseline", default=None,
+                              help="compare against a committed report; "
+                                   "exit 1 on regression")
+    bench_parser.add_argument("--max-regression", type=float, default=0.30,
+                              dest="max_regression",
+                              help="tolerated aggregate slowdown vs the "
+                                   "baseline, as a fraction (default 0.30)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -284,6 +366,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args, parser)
     if args.command == "profile":
         return _cmd_profile(args, parser)
+    if args.command == "bench":
+        return _cmd_bench(args, parser)
     passthrough: List[str] = []
     if args.accesses is not None:
         passthrough += ["--accesses", str(args.accesses)]

@@ -21,7 +21,7 @@ construction (``cache.predictor = PerfectPredictor(...)``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.cache.events import (
     AccessObserver,
@@ -31,6 +31,7 @@ from repro.cache.events import (
     WritebackEvent,
 )
 from repro.cache.lookup import LookupResult
+from repro.cache.replacement import RandomReplacement
 from repro.errors import PolicyError
 
 if TYPE_CHECKING:  # owning-cache hint only; no runtime cycle
@@ -40,6 +41,11 @@ if TYPE_CHECKING:  # owning-cache hint only; no runtime cycle
 @dataclass
 class AccessOutcome:
     """What one demand access did (returned to the caller/simulator)."""
+
+    __slots__ = (
+        "hit", "way", "serialized_accesses", "nvm_read",
+        "prediction_used", "prediction_correct",
+    )
 
     hit: bool
     way: Optional[int]
@@ -73,30 +79,69 @@ class AccessPath:
 
     def read(self, addr: int) -> AccessOutcome:
         """Service one demand read; fills the line on a miss."""
+        set_index, tag = self.cache.geometry.split(addr)
+        return self.read_split(set_index, tag, addr)
+
+    def read_split(self, set_index: int, tag: int, addr: int) -> AccessOutcome:
+        """:meth:`read` with the (set, tag) split precomputed.
+
+        The hot-loop entry point: :class:`~repro.sim.system.Simulator`
+        splits the whole trace vectorized once per geometry
+        (:meth:`~repro.sim.trace.Trace.split_columns`) and drives this
+        method directly, so ``geometry.split`` never runs per access.
+        The inlined counter updates below are, line for line, the
+        :class:`~repro.cache.events.StatsObserver` specification.
+        """
         cache = self.cache
         stats = cache.stats
         stats.demand_reads += 1
-        set_index, tag = cache.geometry.split(addr)
-        candidates = cache.steering.candidate_ways(set_index, tag)
+        steering = cache.steering
+        # static_candidates is the build-time-validated constant
+        # candidate set (see ensure_policy_conformance); when present it
+        # saves a method call per access.
+        candidates = getattr(steering, "static_candidates", None)
+        if candidates is None:
+            candidates = steering.candidate_ways(set_index, tag)
+            if type(candidates) not in (tuple, list):
+                # A policy may hand back any iterable (even one-shot);
+                # materialize once so the lookup and the fill's
+                # containment check both see the same sequence.
+                candidates = tuple(candidates)
         result = cache.lookup.lookup(
             set_index, tag, addr, cache.store, candidates, cache.predictor
         )
-        self._charge_lookup(result)
+        stats.first_probes += 1
+        stats.cache_read_transfers += result.transfers
         if result.hit:
-            update_transfers = self._note_hit(set_index, tag, addr, result)
+            way = result.way
+            predicted = result.predicted_way
+            stats.hit_extra_probes += result.serialized_accesses - 1
+            stats.hits += 1
+            prediction_correct = False
+            if predicted is not None:
+                stats.predicted_hits += 1
+                prediction_correct = way == predicted
+                if prediction_correct:
+                    stats.correct_predictions += 1
+            cache.replacement.on_hit(set_index, way)
+            update_transfers = cache.replacement.update_transfers_on_hit
+            stats.replacement_update_transfers += update_transfers
+            if cache.predictor is not None:
+                cache.predictor.on_access(set_index, tag, addr, way, True)
             if self.observers:
                 self._emit_lookup(addr, set_index, tag, result, update_transfers)
             return AccessOutcome(
                 hit=True,
-                way=result.way,
+                way=way,
                 serialized_accesses=result.serialized_accesses,
                 nvm_read=False,
-                prediction_used=result.predicted_way is not None,
-                prediction_correct=result.prediction_correct,
+                prediction_used=predicted is not None,
+                prediction_correct=prediction_correct,
             )
+        stats.miss_extra_probes += result.serialized_accesses - 1
         if self.observers:
             self._emit_lookup(addr, set_index, tag, result, 0)
-        way = self._fill(set_index, tag, addr, dirty=False)
+        way = self._fill(set_index, tag, addr, dirty=False, candidates=candidates)
         return AccessOutcome(
             hit=False,
             way=way,
@@ -106,6 +151,112 @@ class AccessPath:
             prediction_correct=False,
         )
 
+    # -- batched stream driving ---------------------------------------------
+
+    def run_stream(
+        self,
+        writes: Sequence[int],
+        set_indices: Sequence[int],
+        tags: Sequence[int],
+        addrs: Sequence[int],
+        start: int,
+        stop: int,
+    ) -> None:
+        """Drive ``[start, stop)`` of a pre-split access stream.
+
+        Bit-identical to calling :meth:`read_split` /
+        :meth:`writeback_split` per record (the equivalence tests assert
+        this for every design), but with the per-access constant work
+        hoisted out of the loop: component attribute loads, the
+        candidate-set fetch for static-candidate steering policies, and
+        the :class:`AccessOutcome` allocation (a batch driver has no
+        caller to return it to). Additive counters accumulate in locals
+        and flush to :class:`CacheStats` once at the end.
+
+        With observers registered the batch specialization is invalid
+        (events must fire per access, interleaved with counter updates),
+        so the loop falls back to the per-access methods.
+        """
+        if self.observers:
+            read_split = self.read_split
+            writeback_split = self.writeback_split
+            for w, s, t, a in zip(
+                writes[start:stop],
+                set_indices[start:stop],
+                tags[start:stop],
+                addrs[start:stop],
+            ):
+                if w:
+                    writeback_split(s, t, a)
+                else:
+                    read_split(s, t, a)
+            return
+        cache = self.cache
+        stats = cache.stats
+        steering = cache.steering
+        store = cache.store
+        lookup = cache.lookup.lookup
+        predictor = cache.predictor
+        predictor_on_access = predictor.on_access if predictor is not None else None
+        replacement = cache.replacement
+        update_transfers = replacement.update_transfers_on_hit
+        # RandomReplacement's on_hit is a no-op; skip the call entirely.
+        on_hit = None if type(replacement) is RandomReplacement else replacement.on_hit
+        static = getattr(steering, "static_candidates", None)
+        candidate_ways = steering.candidate_ways
+        fill = self._fill
+        writeback_split = self.writeback_split
+        demand_reads = 0
+        read_transfers = 0
+        hits = 0
+        hit_extra = 0
+        predicted_hits = 0
+        correct_predictions = 0
+        miss_extra = 0
+        for w, set_index, tag, addr in zip(
+            writes[start:stop],
+            set_indices[start:stop],
+            tags[start:stop],
+            addrs[start:stop],
+        ):
+            if w:
+                writeback_split(set_index, tag, addr)
+                continue
+            demand_reads += 1
+            if static is None:
+                candidates = candidate_ways(set_index, tag)
+                if type(candidates) not in (tuple, list):
+                    candidates = tuple(candidates)
+            else:
+                candidates = static
+            result = lookup(set_index, tag, addr, store, candidates, predictor)
+            read_transfers += result.transfers
+            if result.hit:
+                way = result.way
+                predicted = result.predicted_way
+                hit_extra += result.serialized_accesses - 1
+                hits += 1
+                if predicted is not None:
+                    predicted_hits += 1
+                    if way == predicted:
+                        correct_predictions += 1
+                if on_hit is not None:
+                    on_hit(set_index, way)
+                if predictor_on_access is not None:
+                    predictor_on_access(set_index, tag, addr, way, True)
+            else:
+                miss_extra += result.serialized_accesses - 1
+                fill(set_index, tag, addr, False, candidates)
+        stats.demand_reads += demand_reads
+        stats.first_probes += demand_reads
+        stats.cache_read_transfers += read_transfers
+        stats.hits += hits
+        stats.hit_extra_probes += hit_extra
+        stats.predicted_hits += predicted_hits
+        stats.correct_predictions += correct_predictions
+        stats.replacement_update_transfers += hits * update_transfers
+        stats.miss_extra_probes += miss_extra
+
     # -- LLC writebacks -----------------------------------------------------
 
     def writeback(self, addr: int) -> bool:
@@ -114,11 +265,15 @@ class AccessPath:
         Returns True if the line was written into the cache, False if it
         bypassed to main memory.
         """
+        set_index, tag = self.cache.geometry.split(addr)
+        return self.writeback_split(set_index, tag, addr)
+
+    def writeback_split(self, set_index: int, tag: int, addr: int) -> bool:
+        """:meth:`writeback` with the (set, tag) split precomputed."""
         cache = self.cache
         stats = cache.stats
         stats.writebacks_in += 1
-        set_index, tag = cache.geometry.split(addr)
-        line = cache.geometry.line_addr(addr)
+        line = addr >> cache.geometry.offset_bits
         dcp = cache.dcp
         way: Optional[int] = None
         probes = 0
@@ -143,7 +298,12 @@ class AccessPath:
             # line): the writeback must probe the candidate ways. The
             # steering policy may hand back any iterable; materialize it
             # once so probe counting (len / index) is well-defined.
-            candidates = tuple(cache.steering.candidate_ways(set_index, tag))
+            steering = cache.steering
+            candidates = getattr(steering, "static_candidates", None)
+            if candidates is None:
+                candidates = steering.candidate_ways(set_index, tag)
+                if type(candidates) not in (tuple, list):
+                    candidates = tuple(candidates)
             way = cache.store.find_way_among(set_index, tag, candidates)
             probes = len(candidates) if way is None else candidates.index(way) + 1
             stats.writeback_probe_accesses += probes
@@ -172,35 +332,21 @@ class AccessPath:
 
     # -- internals ----------------------------------------------------------
 
-    def _charge_lookup(self, result: LookupResult) -> None:
-        stats = self.cache.stats
-        stats.first_probes += 1
-        if result.hit:
-            stats.hit_extra_probes += result.serialized_accesses - 1
-        else:
-            stats.miss_extra_probes += result.serialized_accesses - 1
-        stats.cache_read_transfers += result.transfers
-
-    def _note_hit(
-        self, set_index: int, tag: int, addr: int, result: LookupResult
+    def _fill(
+        self,
+        set_index: int,
+        tag: int,
+        addr: int,
+        dirty: bool,
+        candidates: Optional[Sequence[int]] = None,
     ) -> int:
-        """Account a demand hit; returns the replacement transfers charged."""
-        cache = self.cache
-        stats = cache.stats
-        stats.hits += 1
-        if result.predicted_way is not None:
-            stats.predicted_hits += 1
-            if result.prediction_correct:
-                stats.correct_predictions += 1
-        cache.replacement.on_hit(set_index, result.way)
-        update_transfers = cache.replacement.update_transfers_on_hit
-        stats.replacement_update_transfers += update_transfers
-        if cache.predictor is not None:
-            cache.predictor.on_access(set_index, tag, addr, result.way, True)
-        return update_transfers
+        """Fetch the line from NVM and install it.
 
-    def _fill(self, set_index: int, tag: int, addr: int, dirty: bool) -> int:
-        """Fetch the line from NVM and install it."""
+        ``candidates`` is the steering policy's candidate set for this
+        (set, tag), already computed by the lookup that missed; passing
+        it avoids recomputing what :meth:`read_split` holds. The
+        install-way containment check validates against it directly.
+        """
         cache = self.cache
         stats = cache.stats
         stats.misses += 1
@@ -210,7 +356,9 @@ class AccessPath:
         way = cache.steering.choose_install_way(
             set_index, tag, addr, cache.store, cache.replacement
         )
-        if way not in cache.steering.candidate_ways(set_index, tag):
+        if candidates is None:
+            candidates = cache.steering.candidate_ways(set_index, tag)
+        if way not in candidates:
             raise PolicyError(
                 f"steering installed into way {way}, outside its candidate set"
             )
@@ -223,7 +371,7 @@ class AccessPath:
         if cache.predictor is not None:
             cache.predictor.on_install(set_index, tag, addr, way)
         if cache.dcp is not None:
-            cache.dcp.insert(cache.geometry.line_addr(addr), way)
+            cache.dcp.insert(addr >> cache.geometry.offset_bits, way)
         if self.observers:
             event = FillEvent(
                 addr=addr, set_index=set_index, tag=tag, way=way, dirty=dirty
@@ -234,11 +382,10 @@ class AccessPath:
 
     def _evict(self, set_index: int, way: int) -> None:
         cache = self.cache
-        stats = cache.stats
-        if not cache.store.is_valid(set_index, way):
+        victim_tag, dirty = cache.store.evict_slot(set_index, way)
+        if victim_tag == -1:  # invalid slot: nothing to displace
             return
-        victim_tag = cache.store.tag_at(set_index, way)
-        dirty = cache.store.is_dirty(set_index, way)
+        stats = cache.stats
         stats.evictions += 1
         if dirty:
             stats.dirty_evictions += 1
@@ -246,9 +393,9 @@ class AccessPath:
         if cache.predictor is not None:
             cache.predictor.on_evict(set_index, victim_tag, way)
         if cache.dcp is not None:
-            victim_addr = cache.geometry.addr_of(set_index, victim_tag)
-            cache.dcp.remove(cache.geometry.line_addr(victim_addr))
-        cache.store.invalidate(set_index, way)
+            # line_addr(addr_of(set, tag)) without the byte-addr detour.
+            victim_line = (victim_tag << cache.geometry.index_bits) | set_index
+            cache.dcp.remove(victim_line)
         if self.observers:
             event = EvictEvent(
                 set_index=set_index, way=way, victim_tag=victim_tag, dirty=dirty

@@ -99,6 +99,17 @@ class DramCache:
         """Service one demand read; fills the line on a miss."""
         return self.path.read(addr)
 
+    def read_split(self, set_index: int, tag: int, addr: int) -> AccessOutcome:
+        """:meth:`read` with the (set, tag) split precomputed.
+
+        Hot-loop entry point for drivers that batch-split the address
+        stream (:meth:`repro.sim.trace.Trace.split_columns`)."""
+        return self.path.read_split(set_index, tag, addr)
+
+    def writeback_split(self, set_index: int, tag: int, addr: int) -> bool:
+        """:meth:`writeback` with the (set, tag) split precomputed."""
+        return self.path.writeback_split(set_index, tag, addr)
+
     def writeback(self, addr: int) -> bool:
         """Absorb a dirty writeback from the LLC.
 

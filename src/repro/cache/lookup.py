@@ -15,7 +15,6 @@ them a shorter latency. The flow records them as ``extra`` accesses.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.cache.storage import TagStore
@@ -31,20 +30,52 @@ class LookupKind(enum.Enum):
     WAY_PREDICTED = "way_predicted"
 
 
-@dataclass
 class LookupResult:
-    """Outcome and cost of one read lookup."""
+    """Outcome and cost of one read lookup.
 
-    hit: bool
-    way: Optional[int]
-    serialized_accesses: int
-    transfers: int
-    predicted_way: Optional[int] = None
+    A plain ``__slots__`` class rather than a dataclass: one is
+    allocated per access in the hot loop, and slot storage plus a
+    hand-written ``__init__`` shaves measurable per-access overhead.
+    """
+
+    __slots__ = ("hit", "way", "serialized_accesses", "transfers", "predicted_way")
+
+    def __init__(
+        self,
+        hit: bool,
+        way: Optional[int],
+        serialized_accesses: int,
+        transfers: int,
+        predicted_way: Optional[int] = None,
+    ):
+        self.hit = hit
+        self.way = way
+        self.serialized_accesses = serialized_accesses
+        self.transfers = transfers
+        self.predicted_way = predicted_way
 
     @property
     def prediction_correct(self) -> bool:
         """True when a predicted first probe found the line."""
         return self.hit and self.predicted_way is not None and self.way == self.predicted_way
+
+    def __repr__(self) -> str:
+        return (
+            f"LookupResult(hit={self.hit!r}, way={self.way!r}, "
+            f"serialized_accesses={self.serialized_accesses!r}, "
+            f"transfers={self.transfers!r}, predicted_way={self.predicted_way!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LookupResult):
+            return NotImplemented
+        return (
+            self.hit == other.hit
+            and self.way == other.way
+            and self.serialized_accesses == other.serialized_accesses
+            and self.transfers == other.transfers
+            and self.predicted_way == other.predicted_way
+        )
 
 
 class ParallelLookup:

@@ -1,17 +1,21 @@
 """Tag-store backing for the functional cache models.
 
-A numpy-backed (sets x ways) array keeps tags, valid and dirty bits.
-For gigascale unscaled geometries this would be several hundred MB of
-host memory, so the store also supports a sparse dict mode that only
-materializes touched sets; the dense mode is the default for the scaled
-experiment geometries.
+The dense mode backs tags with a flat Python ``list`` and dirty bits
+with a ``bytearray``, indexed as ``set_index * ways + way``. An earlier
+revision used a numpy ``(sets x ways)`` array; per-slot scalar indexing
+into a numpy array costs roughly an order of magnitude more than a list
+index in this access pattern (every access is a handful of single-slot
+reads), so plain lists are the fast representation for the hot loop.
+
+For gigascale unscaled geometries a dense store would be several
+hundred MB of host memory, so the store also supports a sparse dict
+mode that only materializes touched sets; the dense mode is the default
+for the scaled experiment geometries.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Dict, List, Optional, Tuple
 
 from repro.cache.geometry import CacheGeometry
 from repro.errors import GeometryError
@@ -42,12 +46,13 @@ class TagStore:
 
     def __init__(self, geometry: CacheGeometry, dense: Optional[bool] = None):
         self.geometry = geometry
+        self.ways = geometry.ways
         if dense is None:
             dense = geometry.num_lines <= _DENSE_LIMIT_LINES
         self.dense = dense
         if dense:
-            self._tags = np.full((geometry.num_sets, geometry.ways), _INVALID, dtype=np.int64)
-            self._dirty = np.zeros((geometry.num_sets, geometry.ways), dtype=bool)
+            self._tags: Optional[List[int]] = [_INVALID] * geometry.num_lines
+            self._dirty: Optional[bytearray] = bytearray(geometry.num_lines)
             self._sparse: Optional[Dict[int, List[List[int]]]] = None
         else:
             self._tags = None
@@ -69,7 +74,7 @@ class TagStore:
     def tag_at(self, set_index: int, way: int) -> int:
         """Tag stored in a slot, or -1 if invalid."""
         if self.dense:
-            return int(self._tags[set_index, way])
+            return self._tags[set_index * self.ways + way]
         return self._sparse_set(set_index)[way][0]
 
     def is_valid(self, set_index: int, way: int) -> bool:
@@ -77,12 +82,12 @@ class TagStore:
 
     def is_dirty(self, set_index: int, way: int) -> bool:
         if self.dense:
-            return bool(self._dirty[set_index, way])
+            return bool(self._dirty[set_index * self.ways + way])
         return bool(self._sparse_set(set_index)[way][1])
 
     def set_dirty(self, set_index: int, way: int, dirty: bool = True) -> None:
         if self.dense:
-            self._dirty[set_index, way] = dirty
+            self._dirty[set_index * self.ways + way] = 1 if dirty else 0
         else:
             self._sparse_set(set_index)[way][1] = 1 if dirty else 0
 
@@ -91,9 +96,10 @@ class TagStore:
     def find_way(self, set_index: int, tag: int) -> Optional[int]:
         """Way holding ``tag`` in this set, or None."""
         if self.dense:
-            row = self._tags[set_index]
-            for way in range(self.geometry.ways):
-                if row[way] == tag:
+            tags = self._tags
+            base = set_index * self.ways
+            for way in range(self.ways):
+                if tags[base + way] == tag:
                     return way
             return None
         entry = self._sparse.get(set_index)
@@ -106,6 +112,13 @@ class TagStore:
 
     def find_way_among(self, set_index: int, tag: int, ways) -> Optional[int]:
         """Like :meth:`find_way` but restricted to candidate ways."""
+        if self.dense:
+            tags = self._tags
+            base = set_index * self.ways
+            for way in ways:
+                if tags[base + way] == tag:
+                    return way
+            return None
         for way in ways:
             if self.tag_at(set_index, way) == tag:
                 return way
@@ -125,26 +138,60 @@ class TagStore:
         """Place ``tag`` into a slot, overwriting whatever was there."""
         if tag < 0:
             raise GeometryError(f"tags must be non-negative, got {tag}")
-        if not self.is_valid(set_index, way):
-            self.valid_lines += 1
         if self.dense:
-            self._tags[set_index, way] = tag
-            self._dirty[set_index, way] = dirty
+            slot = set_index * self.ways + way
+            if self._tags[slot] == _INVALID:
+                self.valid_lines += 1
+            self._tags[slot] = tag
+            self._dirty[slot] = 1 if dirty else 0
         else:
-            slot = self._sparse_set(set_index)[way]
-            slot[0] = tag
-            slot[1] = 1 if dirty else 0
+            entry = self._sparse_set(set_index)[way]
+            if entry[0] == _INVALID:
+                self.valid_lines += 1
+            entry[0] = tag
+            entry[1] = 1 if dirty else 0
+
+    def evict_slot(self, set_index: int, way: int) -> "Tuple[int, bool]":
+        """Read and invalidate one slot in a single call.
+
+        Returns the ``(tag, dirty)`` pair the slot held (``(-1, False)``
+        if it was already invalid). Equivalent to ``tag_at`` +
+        ``is_dirty`` + ``invalidate`` but resolves the slot once — the
+        access path's eviction sequence is a hot-loop miss cost.
+        """
+        if self.dense:
+            slot = set_index * self.ways + way
+            tag = self._tags[slot]
+            if tag == _INVALID:
+                return _INVALID, False
+            dirty = bool(self._dirty[slot])
+            self._tags[slot] = _INVALID
+            self._dirty[slot] = 0
+            self.valid_lines -= 1
+            return tag, dirty
+        entry = self._sparse_set(set_index)[way]
+        tag = entry[0]
+        if tag == _INVALID:
+            return _INVALID, False
+        dirty = bool(entry[1])
+        entry[0] = _INVALID
+        entry[1] = 0
+        self.valid_lines -= 1
+        return tag, dirty
 
     def invalidate(self, set_index: int, way: int) -> None:
-        if self.is_valid(set_index, way):
-            self.valid_lines -= 1
         if self.dense:
-            self._tags[set_index, way] = _INVALID
-            self._dirty[set_index, way] = False
+            slot = set_index * self.ways + way
+            if self._tags[slot] != _INVALID:
+                self.valid_lines -= 1
+            self._tags[slot] = _INVALID
+            self._dirty[slot] = 0
         else:
-            slot = self._sparse_set(set_index)[way]
-            slot[0] = _INVALID
-            slot[1] = 0
+            entry = self._sparse_set(set_index)[way]
+            if entry[0] != _INVALID:
+                self.valid_lines -= 1
+            entry[0] = _INVALID
+            entry[1] = 0
 
     def occupancy(self) -> float:
         """Fraction of slots holding a valid line."""
@@ -160,8 +207,8 @@ class TagStore:
         selection.
         """
         if self.dense:
-            self._tags[:, :] = JUNK_TAG
-            self._dirty[:, :] = False
+            self._tags = [JUNK_TAG] * self.geometry.num_lines
+            self._dirty = bytearray(self.geometry.num_lines)
             self._sparse = None
         else:
             self._sparse = _JunkDefaultDict(self.geometry.ways)

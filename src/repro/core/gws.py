@@ -26,7 +26,7 @@ from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement import ReplacementPolicy
 from repro.cache.storage import TagStore
 from repro.core.prediction import StaticPreferredPredictor, WayPredictor
-from repro.core.steering import InstallSteering, UnbiasedSteering, region_id, ways_bits
+from repro.core.steering import InstallSteering, UnbiasedSteering, ways_bits
 from repro.errors import PolicyError
 from repro.params.system import REGION_SIZE
 
@@ -55,21 +55,25 @@ class RecentRegionTable:
 
     def lookup(self, region: int) -> Optional[int]:
         """Return the remembered way for a region, refreshing recency."""
-        way = self._table.get(region)
+        table = self._table
+        way = table.get(region)
         if way is None:
             self.misses += 1
             return None
-        self._table.move_to_end(region)
+        table.move_to_end(region)
         self.hits += 1
         return way
 
     def record(self, region: int, way: int) -> None:
         """Insert or update a region's way, evicting LRU on overflow."""
-        if region in self._table:
-            self._table.move_to_end(region)
-        self._table[region] = way
-        while len(self._table) > self.entries:
-            self._table.popitem(last=False)
+        table = self._table
+        if region in table:
+            table[region] = way
+            table.move_to_end(region)
+        else:
+            table[region] = way
+            if len(table) > self.entries:
+                table.popitem(last=False)
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -97,6 +101,9 @@ class GangedWaySteering(InstallSteering):
             raise PolicyError("fallback steering has mismatched geometry")
         self.rit = RecentRegionTable(entries)
         self.region_size = region_size
+        # Ganging never shrinks the residence set; it is exactly the
+        # fallback's, so the static contract passes straight through.
+        self.static_candidates = self.fallback.static_candidates
 
     def candidate_ways(self, set_index: int, tag: int):
         # Ganging does not restrict residency; the fallback's candidate
@@ -111,10 +118,14 @@ class GangedWaySteering(InstallSteering):
         store: TagStore,
         replacement: ReplacementPolicy,
     ) -> int:
-        region = region_id(addr, self.region_size)
+        region = addr // self.region_size
         ganged = self.rit.lookup(region)
-        if ganged is not None and ganged in self.candidate_ways(set_index, tag):
-            return ganged
+        if ganged is not None:
+            candidates = self.static_candidates
+            if candidates is None:
+                candidates = self.fallback.candidate_ways(set_index, tag)
+            if ganged in candidates:
+                return ganged
         way = self.fallback.choose_install_way(
             set_index, tag, addr, store, replacement
         )
@@ -123,7 +134,7 @@ class GangedWaySteering(InstallSteering):
 
     def on_install(self, set_index: int, tag: int, addr: int, way: int) -> None:
         # Keep the RIT coherent with the install that actually happened.
-        self.rit.record(region_id(addr, self.region_size), way)
+        self.rit.record(addr // self.region_size, way)
         self.fallback.on_install(set_index, tag, addr, way)
 
     def storage_bits(self) -> int:
@@ -148,7 +159,7 @@ class GangedWayPredictor(WayPredictor):
         self.region_size = region_size
 
     def predict(self, set_index: int, tag: int, addr: int) -> int:
-        way = self.rlt.lookup(region_id(addr, self.region_size))
+        way = self.rlt.lookup(addr // self.region_size)
         if way is not None:
             return way
         return self.fallback.predict(set_index, tag, addr)
@@ -157,12 +168,12 @@ class GangedWayPredictor(WayPredictor):
         self, set_index: int, tag: int, addr: int, way: Optional[int], hit: bool
     ) -> None:
         if hit and way is not None:
-            self.rlt.record(region_id(addr, self.region_size), way)
+            self.rlt.record(addr // self.region_size, way)
         self.fallback.on_access(set_index, tag, addr, way, hit)
 
     def on_install(self, set_index: int, tag: int, addr: int, way: int) -> None:
         # A fill is also the most recent sighting of the region.
-        self.rlt.record(region_id(addr, self.region_size), way)
+        self.rlt.record(addr // self.region_size, way)
         self.fallback.on_install(set_index, tag, addr, way)
 
     def on_evict(self, set_index: int, tag: int, way: int) -> None:

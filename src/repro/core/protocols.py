@@ -141,6 +141,31 @@ def ensure_policy_conformance(cache) -> None:
                 f"{role} policy {type(policy).__name__} does not conform to "
                 f"{protocol.__name__}"
             )
+    _check_static_candidates(cache.steering)
+
+
+def _check_static_candidates(steering) -> None:
+    """Validate the steering policy's ``static_candidates`` declaration.
+
+    ``static_candidates`` (optional attribute, default None) is the
+    hot-loop contract the access path relies on: when not None,
+    ``candidate_ways`` must return exactly that sequence for every
+    (set, tag). The access path then skips the per-access call entirely
+    — this one build-time probe replaces millions of run-time ones, so a
+    policy that lies here would silently corrupt candidate accounting.
+    Checked once, at design-build time, with a representative probe.
+    """
+    static = getattr(steering, "static_candidates", None)
+    if static is None:
+        return
+    declared = tuple(static)
+    probe = tuple(steering.candidate_ways(0, 0))
+    if probe != declared:
+        raise PolicyError(
+            f"steering policy {type(steering).__name__} declares "
+            f"static_candidates={declared} but candidate_ways(0, 0) "
+            f"returned {probe}"
+        )
 
 
 __all__ = [

@@ -17,6 +17,7 @@ from repro.sim.system import RunResult, Simulator
 from repro.sim.trace import Trace
 from repro.workloads.mixes import build_mix_trace
 from repro.workloads.spec import get_workload, is_mix
+from repro.workloads.trace_cache import TraceKey, shared_trace_cache
 
 DEFAULT_ACCESSES = 150_000
 DEFAULT_WARMUP = 0.3
@@ -29,6 +30,12 @@ class TraceFactory:
     footprint/capacity ratios match the paper; cache-size sensitivity
     sweeps (Table VIII) pin it to the default-system scale while the
     cache capacity varies.
+
+    Besides the in-process memo, built traces are shared across
+    processes and sessions through the content-addressed on-disk cache
+    (:mod:`repro.workloads.trace_cache`): a sweep's worker processes
+    generate each trace once, ever, instead of once per worker. Disable
+    with ``REPRO_TRACE_CACHE=0``.
     """
 
     def __init__(
@@ -56,15 +63,32 @@ class TraceFactory:
     def _build(self, workload: str) -> Trace:
         capacity = self.config.dram_cache.capacity_bytes
         scale = self.footprint_scale
+        disk = shared_trace_cache()
+        key = None
+        if disk is not None:
+            key = TraceKey(
+                workload=workload,
+                capacity_bytes=capacity,
+                num_accesses=self.num_accesses,
+                seed=self.seed,
+                footprint_scale=scale,
+            )
+            cached = disk.get(key)
+            if cached is not None:
+                return cached
         if is_mix(workload):
-            return build_mix_trace(
+            trace = build_mix_trace(
                 workload, capacity, self.num_accesses, seed=self.seed, scale=scale
             )
-        spec = get_workload(workload).scaled(scale)
-        from repro.workloads.synthetic import SyntheticWorkload
+        else:
+            spec = get_workload(workload).scaled(scale)
+            from repro.workloads.synthetic import SyntheticWorkload
 
-        generator = SyntheticWorkload(spec, capacity, seed=self.seed)
-        return generator.generate(self.num_accesses)
+            generator = SyntheticWorkload(spec, capacity, seed=self.seed)
+            trace = generator.generate(self.num_accesses)
+        if disk is not None:
+            disk.put(key, trace)
+        return trace
 
 
 def run_design(

@@ -128,6 +128,7 @@ class Simulator:
         trace: Trace,
         warmup_fraction: float = 0.25,
         epoch: Optional[int] = None,
+        fast_path: bool = True,
     ) -> RunResult:
         """Simulate a trace; statistics cover only the post-warmup part.
 
@@ -136,6 +137,14 @@ class Simulator:
         excluded), returned as :attr:`RunResult.phases`. Caches without
         an event-emitting access path (the CA-cache baseline) ignore the
         request and report ``phases=None``.
+
+        When the cache exposes the split entry points
+        (``read_split``/``writeback_split``), the loop drives them with
+        the trace's precomputed per-geometry address columns
+        (:meth:`Trace.split_columns`) so ``geometry.split`` never runs
+        per access. ``fast_path=False`` forces the per-address loop; the
+        two are bit-identical (asserted by the equivalence tests) — the
+        flag exists for those tests and for benchmark comparisons.
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise SimulationError("warmup fraction must be in [0, 1)")
@@ -144,14 +153,36 @@ class Simulator:
         addrs = trace.addrs
         writes = trace.writes
         cache = self.cache
-        read = cache.read
-        writeback = cache.writeback
-
-        for i in range(warm):
-            if writes[i]:
-                writeback(addrs[i])
+        use_split = fast_path and hasattr(cache, "read_split")
+        if use_split:
+            columns = trace.split_columns(cache.geometry)
+            sets, tags = columns.set_indices, columns.tags
+            # Drive the access path's batch loop directly when the cache
+            # exposes one; it hoists per-access constant work and skips
+            # the delegation frame (bit-identical, see run_stream).
+            path = getattr(cache, "path", None)
+            if path is not None:
+                run_stream = path.run_stream
+                run_stream(writes, sets, tags, addrs, 0, warm)
             else:
-                read(addrs[i])
+                run_stream = None
+                read_split = cache.read_split
+                writeback_split = cache.writeback_split
+                for w, s, t, a in zip(
+                    writes[:warm], sets[:warm], tags[:warm], addrs[:warm]
+                ):
+                    if w:
+                        writeback_split(s, t, a)
+                    else:
+                        read_split(s, t, a)
+        else:
+            read = cache.read
+            writeback = cache.writeback
+            for w, a in zip(writes[:warm], addrs[:warm]):
+                if w:
+                    writeback(a)
+                else:
+                    read(a)
 
         cache.stats = CacheStats()  # measurement window starts here
         phase_observer = None
@@ -159,11 +190,23 @@ class Simulator:
             phase_observer = PhaseMetrics(epoch)
             cache.add_observer(phase_observer)
         try:
-            for i in range(warm, n):
-                if writes[i]:
-                    writeback(addrs[i])
+            if use_split:
+                if run_stream is not None:
+                    run_stream(writes, sets, tags, addrs, warm, n)
                 else:
-                    read(addrs[i])
+                    for w, s, t, a in zip(
+                        writes[warm:], sets[warm:], tags[warm:], addrs[warm:]
+                    ):
+                        if w:
+                            writeback_split(s, t, a)
+                        else:
+                            read_split(s, t, a)
+            else:
+                for w, a in zip(writes[warm:], addrs[warm:]):
+                    if w:
+                        writeback(a)
+                    else:
+                        read(a)
         finally:
             if phase_observer is not None:
                 cache.remove_observer(phase_observer)

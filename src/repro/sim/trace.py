@@ -4,16 +4,37 @@ A trace is the stream of memory requests arriving at the DRAM cache
 (i.e. L3 misses plus L3 dirty writebacks), in arrival order. For speed
 the hot representation is two parallel sequences — byte addresses and
 write flags — plus a constant instructions-per-access factor derived
-from the workload's MPKI; a self-describing text format is provided for
-persistence and interchange.
+from the workload's MPKI. Traces are treated as immutable once built:
+derived values (write counts, split columns) are computed once and
+cached on the instance.
+
+Two persistence formats are provided:
+
+* ``repro-trace-v1`` — a self-describing line-oriented text format for
+  interchange and hand inspection (:func:`save_trace`/:func:`load_trace`);
+* ``.npz`` — a binary numpy archive used by the shared trace cache
+  (:mod:`repro.workloads.trace_cache`), ~10x smaller and much faster to
+  load (:func:`save_trace_npz`/:func:`load_trace_npz`).
+
+:meth:`Trace.split_columns` precomputes the per-access ``(set_index,
+tag, line_addr)`` decomposition for one cache geometry — vectorized in
+numpy once, then materialized as plain Python ints so the functional
+simulator's hot loop never touches ``geometry.split`` (or a numpy
+scalar) per access.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence
+import zipfile
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import TraceError
+
+if TYPE_CHECKING:  # hint only; geometry does not import trace
+    from repro.cache.geometry import CacheGeometry
 
 
 @dataclass(frozen=True)
@@ -24,6 +45,28 @@ class TraceRecord:
     is_write: bool
 
 
+class SplitColumns:
+    """Per-access address decomposition for one cache geometry.
+
+    The columns are computed vectorized (numpy) and stored as flat
+    Python lists: the consumers are per-access Python loops, where list
+    indexing and small-int compares are ~10x cheaper than numpy scalar
+    extraction.
+    """
+
+    __slots__ = ("set_indices", "tags", "line_addrs")
+
+    def __init__(
+        self,
+        set_indices: List[int],
+        tags: List[int],
+        line_addrs: List[int],
+    ):
+        self.set_indices = set_indices
+        self.tags = tags
+        self.line_addrs = line_addrs
+
+
 @dataclass
 class Trace:
     """An in-memory request stream.
@@ -32,12 +75,22 @@ class Trace:
     CPI math: a workload with MPKI m has 1000/m instructions per L3
     *miss-path* access. Writebacks ride along with the read stream and
     carry no instruction weight of their own.
+
+    ``addrs``/``writes`` must not be mutated after construction: the
+    write count and per-geometry split columns are cached.
     """
 
     name: str
     addrs: List[int]
     writes: Sequence[int]  # truthy = writeback; bytearray in practice
     instructions_per_access: float
+    # Lazily computed caches; excluded from equality and repr.
+    _write_count: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _split_cache: Dict[Tuple[int, int], SplitColumns] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if len(self.addrs) != len(self.writes):
@@ -61,7 +114,15 @@ class Trace:
 
     @property
     def write_count(self) -> int:
-        return sum(1 for w in self.writes if w)
+        """Number of writeback records (cached; O(1) after first use)."""
+        count = self._write_count
+        if count is None:
+            if isinstance(self.writes, (bytes, bytearray)):
+                count = self.writes.count(1)
+            else:
+                count = sum(1 for w in self.writes if w)
+            self._write_count = count
+        return count
 
     @property
     def total_instructions(self) -> float:
@@ -81,6 +142,27 @@ class Trace:
         """Number of distinct 64B lines touched."""
         return len({addr // line_size for addr in self.addrs})
 
+    def split_columns(self, geometry: "CacheGeometry") -> SplitColumns:
+        """Cached ``(set_index, tag, line_addr)`` columns for a geometry.
+
+        Exactly equivalent to applying ``geometry.split`` /
+        ``geometry.line_addr`` per address, but computed in one
+        vectorized pass and memoized per ``(offset_bits, index_bits)``
+        pair — all designs sharing an associativity share the columns.
+        """
+        key = (geometry.offset_bits, geometry.index_bits)
+        columns = self._split_cache.get(key)
+        if columns is None:
+            addrs = np.asarray(self.addrs, dtype=np.int64)
+            lines = addrs >> geometry.offset_bits
+            set_indices = lines & ((1 << geometry.index_bits) - 1)
+            tags = lines >> geometry.index_bits
+            columns = SplitColumns(
+                set_indices.tolist(), tags.tolist(), lines.tolist()
+            )
+            self._split_cache[key] = columns
+        return columns
+
 
 def trace_from_arrays(
     name: str,
@@ -94,6 +176,9 @@ def trace_from_arrays(
 
 
 _HEADER = "# repro-trace-v1"
+
+#: Version tag embedded in the binary (.npz) trace format.
+NPZ_TRACE_VERSION = 1
 
 
 def save_trace(trace: Trace, path: str) -> None:
@@ -123,9 +208,18 @@ def load_trace(path: str) -> Trace:
                 continue
             parts = line.split()
             if parts[0] == "name":
+                if len(parts) < 2:
+                    raise TraceError(f"{path}:{line_no}: truncated name line")
                 name = " ".join(parts[1:])
             elif parts[0] == "ipa":
-                ipa = float(parts[1])
+                if len(parts) != 2:
+                    raise TraceError(f"{path}:{line_no}: truncated ipa line")
+                try:
+                    ipa = float(parts[1])
+                except ValueError:
+                    raise TraceError(
+                        f"{path}:{line_no}: bad ipa value {parts[1]!r}"
+                    ) from None
             elif parts[0] in ("R", "W"):
                 if len(parts) != 2:
                     raise TraceError(f"{path}:{line_no}: malformed record {line!r}")
@@ -134,3 +228,61 @@ def load_trace(path: str) -> Trace:
             else:
                 raise TraceError(f"{path}:{line_no}: unknown record {parts[0]!r}")
     return Trace(name, addrs, writes, ipa)
+
+
+def save_trace_npz(trace: Trace, path: str) -> None:
+    """Write a trace in the binary ``.npz`` format.
+
+    The archive holds ``addrs`` (int64), ``writes`` (uint8), plus the
+    scalar ``name``/``ipa``/``version`` metadata. Addresses above
+    2^63 - 1 are rejected (no real address space produces them).
+    """
+    try:
+        addrs = np.asarray(trace.addrs, dtype=np.int64)
+    except (OverflowError, ValueError) as exc:
+        raise TraceError(f"trace {trace.name!r} not npz-serializable: {exc}") from exc
+    if isinstance(trace.writes, (bytes, bytearray)):
+        flags = bytes(trace.writes)
+    else:
+        flags = bytes(1 if w else 0 for w in trace.writes)
+    writes = np.frombuffer(flags, dtype=np.uint8)
+    np.savez_compressed(
+        path,
+        version=np.int64(NPZ_TRACE_VERSION),
+        name=np.array(trace.name),
+        ipa=np.float64(trace.instructions_per_access),
+        addrs=addrs,
+        writes=writes,
+    )
+
+
+def load_trace_npz(path: str) -> Trace:
+    """Read a trace produced by :func:`save_trace_npz`.
+
+    A missing file raises ``FileNotFoundError`` (callers distinguish a
+    cold cache from corruption); any malformed archive raises
+    :class:`TraceError`.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["version"])
+            if version != NPZ_TRACE_VERSION:
+                raise TraceError(
+                    f"{path}: unsupported npz trace version {version}"
+                )
+            name = str(data["name"][()])
+            ipa = float(data["ipa"])
+            addrs = data["addrs"]
+            writes = data["writes"]
+            if addrs.ndim != 1 or writes.ndim != 1:
+                raise TraceError(f"{path}: npz trace columns must be 1-D")
+            trace = Trace(
+                name, addrs.tolist(), bytearray(writes.tobytes()), ipa
+            )
+    except FileNotFoundError:
+        raise
+    except TraceError:
+        raise
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise TraceError(f"{path}: not a valid npz trace ({exc})") from exc
+    return trace

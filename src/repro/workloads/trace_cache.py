@@ -1,0 +1,254 @@
+"""Content-addressed on-disk cache for generated workload traces.
+
+Trace generation is pure: the synthetic generators are seeded and the
+workload catalog is static, so a trace is fully determined by *what was
+asked for* — workload, cache capacity, access count, seed and footprint
+scale. :class:`TraceKey` canonicalizes that request (embedding the
+resolved :class:`~repro.workloads.spec.WorkloadSpec` payloads, so a
+catalog retune invalidates stale entries) and hashes it to a SHA-256
+content address, mirroring the result store
+(:mod:`repro.exec.store`) that memoizes simulation outputs.
+
+Entries live under ``<root>/<dd>/<digest>.npz`` in the binary trace
+format (:func:`repro.sim.trace.save_trace_npz`) with a ``.key.json``
+sidecar holding the canonical key; a lookup verifies the sidecar before
+trusting the payload, so a digest collision or hand-edited file
+degrades to a cache miss and regeneration, never to a wrong trace.
+Writes are atomic (temp file + ``os.replace``); concurrent sweep
+workers sharing one cache directory can only race to write identical
+bytes. An unwritable cache warns once and degrades to regenerating.
+
+The root defaults to ``$REPRO_TRACE_DIR``, else
+``$REPRO_RESULTS_DIR/traces``, else ``~/.cache/repro/traces``. Setting
+``REPRO_TRACE_CACHE=0`` disables the cache entirely.
+
+``TRACE_SCHEMA_VERSION`` doubles as the generator version: bump it
+whenever :mod:`repro.workloads.synthetic` or the mix interleaving in
+:mod:`repro.workloads.mixes` changes the bytes they produce, so stale
+cached traces can never leak into new results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import TraceError, WorkloadError
+from repro.sim.trace import Trace, load_trace_npz, save_trace_npz
+from repro.workloads.mixes import MIX_RECIPES
+from repro.workloads.spec import get_workload, is_mix
+
+#: Version of the key schema AND of the trace generators it memoizes.
+TRACE_SCHEMA_VERSION = 1
+
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+TRACE_CACHE_TOGGLE_ENV = "REPRO_TRACE_CACHE"
+_RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+
+
+def trace_cache_enabled() -> bool:
+    """False when ``REPRO_TRACE_CACHE=0`` opts out of on-disk memoizing."""
+    return os.environ.get(TRACE_CACHE_TOGGLE_ENV, "1") != "0"
+
+
+def default_trace_root() -> Path:
+    """``$REPRO_TRACE_DIR``, else ``$REPRO_RESULTS_DIR/traces``, else
+    ``~/.cache/repro/traces``."""
+    env = os.environ.get(TRACE_DIR_ENV)
+    if env:
+        return Path(env)
+    results = os.environ.get(_RESULTS_DIR_ENV)
+    if results:
+        return Path(results) / "traces"
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+def _workload_payload(
+    workload: str, footprint_scale: float
+) -> Dict[str, Any]:
+    """Resolved generator inputs for a workload name.
+
+    Embeds the scaled :class:`WorkloadSpec` field values (for a mix, of
+    every member at the mix's per-member 1/16 scale), so editing the
+    catalog — or the mix recipes — changes the key.
+    """
+    if is_mix(workload):
+        recipe = MIX_RECIPES.get(workload)
+        if recipe is None:
+            raise WorkloadError(f"unknown mix {workload!r}")
+        return {
+            "members": [
+                asdict(get_workload(member).scaled(footprint_scale / 16.0))
+                for member in recipe
+            ],
+        }
+    return {"spec": asdict(get_workload(workload).scaled(footprint_scale))}
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Everything that determines one generated trace's bytes."""
+
+    workload: str
+    capacity_bytes: int
+    num_accesses: int
+    seed: int
+    footprint_scale: float
+
+    def canonical(self) -> str:
+        """Deterministic JSON form of the key (hashed for the address)."""
+        payload = {
+            "schema": TRACE_SCHEMA_VERSION,
+            "workload": self.workload,
+            "capacity_bytes": self.capacity_bytes,
+            "num_accesses": self.num_accesses,
+            "seed": self.seed,
+            # repr() keeps float identity exact across json round trips.
+            "footprint_scale": repr(float(self.footprint_scale)),
+            "generator": _workload_payload(self.workload, self.footprint_scale),
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.canonical().encode("ascii")).hexdigest()
+
+
+class TraceCache:
+    """Memoizes generated :class:`Trace` objects keyed by :class:`TraceKey`."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_trace_root()
+        self._broken = False
+
+    def path_for(self, key: TraceKey) -> Path:
+        digest = key.digest()
+        return self.root / digest[:2] / f"{digest}.npz"
+
+    def _key_path(self, path: Path) -> Path:
+        return path.with_suffix(".key.json")
+
+    def get(self, key: TraceKey) -> Optional[Trace]:
+        """Stored trace for ``key``, or None (discarding bad entries)."""
+        path = self.path_for(key)
+        key_path = self._key_path(path)
+        try:
+            with open(key_path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if not isinstance(record, dict) or record.get("key") != key.canonical():
+            self._discard(path)
+            return None
+        try:
+            return load_trace_npz(str(path))
+        except FileNotFoundError:
+            return None
+        except TraceError:
+            self._discard(path)
+            return None
+
+    def put(self, key: TraceKey, trace: Trace) -> None:
+        """Persist a trace; an unwritable cache warns once and disables."""
+        if self._broken:
+            return
+        path = self.path_for(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._write_atomic_npz(path, trace)
+            self._write_atomic_key(self._key_path(path), key)
+        except (OSError, TraceError) as exc:
+            self._broken = True
+            warnings.warn(
+                f"trace cache at {self.root} is not writable ({exc}); "
+                "traces from this run will not be memoized",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    @staticmethod
+    def _write_atomic_npz(path: Path, trace: Trace) -> None:
+        # The .npz suffix matters: numpy appends one to suffix-less
+        # paths, which would orphan the temp file.
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".npz", dir=str(path.parent)
+        )
+        os.close(fd)
+        try:
+            save_trace_npz(trace, tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _write_atomic_key(key_path: Path, key: TraceKey) -> None:
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=str(key_path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"schema": TRACE_SCHEMA_VERSION, "key": key.canonical()},
+                    handle,
+                )
+            os.replace(tmp, key_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: TraceKey) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        """Number of stored traces (walks the shard directories)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            1
+            for shard in self.root.iterdir()
+            if shard.is_dir()
+            for entry in shard.glob("*.npz")
+            if not entry.name.startswith(".tmp-")
+        )
+
+    def _discard(self, path: Path) -> None:
+        for victim in (path, self._key_path(path)):
+            try:
+                victim.unlink()
+            except OSError:
+                pass
+
+
+_SHARED: Dict[str, TraceCache] = {}
+
+
+def shared_trace_cache() -> Optional[TraceCache]:
+    """Process-wide cache instance for the current root, or None.
+
+    Returns None when ``REPRO_TRACE_CACHE=0``. Instances are shared per
+    resolved root so the warn-once-on-unwritable state is not reset by
+    every :class:`~repro.sim.runner.TraceFactory` construction.
+    """
+    if not trace_cache_enabled():
+        return None
+    root = str(default_trace_root())
+    cache = _SHARED.get(root)
+    if cache is None:
+        cache = TraceCache(root)
+        _SHARED[root] = cache
+    return cache

@@ -1,0 +1,141 @@
+"""Tests for the hot-loop throughput benchmark and its CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.accord import AccordDesign
+from repro.errors import ReproError
+from repro.sim.bench import (
+    BENCH_DESIGNS,
+    compare_to_baseline,
+    format_report,
+    load_report,
+    run_bench,
+    save_report,
+)
+
+TINY = dict(num_accesses=800, scale=1.0 / 2048.0, repeats=1)
+
+
+def tiny_report(designs=(AccordDesign(kind="direct", ways=1),)):
+    return run_bench(designs=designs, **TINY)
+
+
+class TestRunBench:
+    def test_report_shape(self):
+        designs = (
+            AccordDesign(kind="direct", ways=1),
+            AccordDesign(kind="accord", ways=2),
+            AccordDesign(kind="ca", ways=1),
+        )
+        report = tiny_report(designs)
+        assert report["schema"] == 1
+        assert report["num_accesses"] == 800
+        assert [row["design"] for row in report["designs"]] == [
+            d.display_name for d in designs
+        ]
+        for row in report["designs"]:
+            assert row["accesses_per_sec"] > 0
+            assert row["elapsed_sec"] > 0
+            assert 0.0 <= row["hit_rate"] <= 1.0
+        assert report["aggregate_accesses_per_sec"] > 0
+
+    def test_design_set_covers_every_kind(self):
+        from repro.core.accord import DESIGN_KINDS
+
+        assert {d.kind for d in BENCH_DESIGNS} == set(DESIGN_KINDS)
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ReproError, match="repeat"):
+            run_bench(repeats=0)
+
+    def test_format_report_lists_designs(self):
+        report = tiny_report()
+        text = format_report(report)
+        assert "direct-1way" in text
+        assert "aggregate:" in text
+
+
+class TestReportIo:
+    def test_save_load_roundtrip(self, tmp_path):
+        report = tiny_report()
+        path = str(tmp_path / "bench.json")
+        save_report(report, path)
+        assert load_report(path) == report
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_report(str(tmp_path / "absent.json"))
+
+    def test_load_rejects_non_report_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"unrelated": True}))
+        with pytest.raises(ReproError, match="not a bench report"):
+            load_report(str(path))
+
+
+class TestCompareToBaseline:
+    def _report(self, aggregate):
+        return {"aggregate_accesses_per_sec": aggregate}
+
+    def test_within_tolerance_passes(self):
+        assert compare_to_baseline(
+            self._report(80_000), self._report(100_000), 0.30
+        ) is None
+
+    def test_improvement_passes(self):
+        assert compare_to_baseline(
+            self._report(150_000), self._report(100_000), 0.30
+        ) is None
+
+    def test_regression_beyond_tolerance_fails(self):
+        message = compare_to_baseline(
+            self._report(60_000), self._report(100_000), 0.30
+        )
+        assert message is not None
+        assert "regressed" in message
+
+
+class TestBenchCli:
+    ARGS = ["bench", "--accesses", "800", "--scale", str(1.0 / 2048.0),
+            "--repeats", "1"]
+
+    def test_bench_prints_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "direct-1way" in out
+        assert "aggregate:" in out
+
+    def test_bench_json_and_passing_baseline(self, capsys, tmp_path):
+        path = str(tmp_path / "bench.json")
+        assert main(self.ARGS + ["--json", path]) == 0
+        report = load_report(path)
+        assert report["num_accesses"] == 800
+        # Comparing a run against its own report always passes the gate.
+        assert main(self.ARGS + ["--baseline", path]) == 0
+        out = capsys.readouterr().out
+        assert "baseline check OK" in out
+
+    def test_bench_failing_baseline(self, capsys, tmp_path):
+        path = str(tmp_path / "fast.json")
+        report = tiny_report()
+        report["aggregate_accesses_per_sec"] *= 100.0
+        save_report(report, path)
+        assert main(self.ARGS + ["--baseline", path]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_bench_unreadable_baseline(self, capsys, tmp_path):
+        missing = str(tmp_path / "absent.json")
+        assert main(self.ARGS + ["--baseline", missing]) == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [["--accesses", "0"], ["--scale", "2.0"], ["--max-regression", "1.5"]],
+        ids=["accesses", "scale", "max-regression"],
+    )
+    def test_bench_rejects_bad_arguments(self, capsys, bad):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench"] + bad)
+        assert excinfo.value.code == 2

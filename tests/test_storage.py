@@ -81,3 +81,49 @@ class TestPrefill:
         store.install(7, 1, 99)
         assert store.find_way(7, 99) == 1
         assert store.valid_lines == store.geometry.num_lines
+
+
+class TestEvictSlot:
+    """evict_slot == tag_at + is_dirty + invalidate, in one store call."""
+
+    def test_evicts_clean_line(self, store):
+        store.install(3, 1, 42)
+        assert store.evict_slot(3, 1) == (42, False)
+        assert not store.is_valid(3, 1)
+        assert store.valid_lines == 0
+
+    def test_evicts_dirty_line_and_clears_dirty_bit(self, store):
+        store.install(5, 0, 7)
+        store.set_dirty(5, 0)
+        assert store.evict_slot(5, 0) == (7, True)
+        # A later occupant of the slot must start clean.
+        store.install(5, 0, 8)
+        assert not store.is_dirty(5, 0)
+
+    def test_invalid_slot_reports_sentinel(self, store):
+        assert store.evict_slot(2, 1) == (-1, False)
+        assert store.valid_lines == 0
+
+    def test_double_evict_is_idempotent(self, store):
+        store.install(4, 1, 11)
+        store.evict_slot(4, 1)
+        assert store.evict_slot(4, 1) == (-1, False)
+        assert store.valid_lines == 0
+
+    def test_matches_separate_calls(self, store):
+        """Cross-check against the three-call sequence it replaces."""
+        reference = TagStore(store.geometry, dense=True)
+        for set_index, way, tag, dirty in [
+            (0, 0, 5, True), (0, 1, 6, False), (9, 0, 7, True),
+        ]:
+            for s in (store, reference):
+                s.install(set_index, way, tag)
+                if dirty:
+                    s.set_dirty(set_index, way)
+        for set_index, way in [(0, 0), (0, 1), (9, 0), (9, 1)]:
+            expected = (reference.tag_at(set_index, way),
+                        reference.is_dirty(set_index, way))
+            if expected[0] != -1:
+                reference.invalidate(set_index, way)
+            assert store.evict_slot(set_index, way) == expected
+            assert store.valid_lines == reference.valid_lines
