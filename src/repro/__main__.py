@@ -14,7 +14,13 @@ Usage::
 simulations out over worker processes, and results are memoized in a
 content-addressed store (``--results-dir``, default
 ``$REPRO_RESULTS_DIR`` or ``~/.cache/repro``; ``--no-store`` disables
-it), so re-running a sweep only simulates what changed.
+it), so re-running a sweep only simulates what changed. Resilience
+knobs (``--retries``, ``--timeout``) and the sweep journal
+(``--resume`` after a kill) are described in ``docs/robustness.md``.
+
+Exit codes: 0 on success, :data:`EXIT_CONFIG` (2) for bad flags or
+configuration, :data:`EXIT_EXECUTION` (3) when a sweep fails while
+executing.
 """
 
 from __future__ import annotations
@@ -25,6 +31,11 @@ import sys
 from typing import List, Optional
 
 from repro.experiments import EXPERIMENT_MODULES
+
+#: Bad flags / configuration (argparse's own error exit code).
+EXIT_CONFIG = 2
+#: A sweep accepted its configuration but failed while executing.
+EXIT_EXECUTION = 3
 
 _DESCRIPTIONS = {
     "fig1_associativity": "Fig 1: hit-rate & speedup vs associativity",
@@ -127,16 +138,32 @@ def _cmd_profile(args: argparse.Namespace,
 
 def _cmd_sweep(args: argparse.Namespace,
                parser: argparse.ArgumentParser) -> int:
+    from pathlib import Path
+
     from repro.analysis.export import save_series_csv
     from repro.analysis.report import per_workload_table
-    from repro.errors import ConfigError
-    from repro.exec import JobKey, parse_design_spec
+    from repro.errors import ConfigError, JournalError, ReproError
+    from repro.exec import (
+        FAULT_PLAN_ENV,
+        JobKey,
+        SweepJournal,
+        default_store_root,
+        parse_design_spec,
+    )
+    from repro.exec.faults import active_plan
     from repro.experiments.common import settings_from_args
     from repro.sim.runner import mean_hit_rate
 
     settings = settings_from_args(args, parser)
     if args.phase_csv and settings.epoch is None:
         parser.error("--phase-csv requires --epoch-metrics")
+    if args.resume and args.no_journal:
+        parser.error("--resume needs the sweep journal (drop --no-journal)")
+    try:
+        # Reject a malformed $REPRO_FAULT_PLAN before any work happens.
+        active_plan()
+    except ConfigError as exc:
+        parser.error(f"{FAULT_PLAN_ENV}: {exc}")
     try:
         designs = [
             parse_design_spec(spec)
@@ -150,9 +177,6 @@ def _cmd_sweep(args: argparse.Namespace,
     if len(set(labels)) != len(labels):
         parser.error("--designs: duplicate designs in sweep")
 
-    executor = settings.make_executor(
-        progress=_progress if args.progress else None
-    )
     keys = {
         label: [
             JobKey(
@@ -169,7 +193,51 @@ def _cmd_sweep(args: argparse.Namespace,
         for label, design in zip(labels, designs)
     }
     flat = [key for per_label in keys.values() for key in per_label]
-    resolved = executor.run(flat)
+
+    journal = None
+    if not args.no_journal:
+        if args.journal:
+            journal_path = Path(args.journal)
+        else:
+            root = Path(args.results_dir) if args.results_dir \
+                else default_store_root()
+            journal_path = root / "sweep.journal.jsonl"
+        journal = SweepJournal(journal_path)
+        if args.resume:
+            try:
+                done = journal.load()
+            except JournalError as exc:
+                parser.error(f"--resume: {exc}")
+            if journal.header.get("sweep") != SweepJournal.sweep_digest(flat):
+                parser.error(
+                    f"--resume: journal at {journal_path} records a "
+                    "different sweep (designs, workloads or settings "
+                    "changed); rerun without --resume to start over"
+                )
+            print(f"resuming: {done}/{len(flat)} jobs already journaled",
+                  file=sys.stderr)
+        else:
+            try:
+                journal.begin(flat, meta={
+                    "designs": args.designs,
+                    "workloads": ",".join(settings.suite),
+                    "accesses": settings.num_accesses,
+                    "seed": settings.seed,
+                })
+            except JournalError as exc:
+                parser.error(str(exc))
+
+    executor = settings.make_executor(
+        progress=_progress if args.progress else None, journal=journal
+    )
+    try:
+        resolved = executor.run(flat)
+    except ReproError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        if journal is not None:
+            print(f"rerun with --resume to continue from {journal.path}",
+                  file=sys.stderr)
+        return EXIT_EXECUTION
     per_design = {
         label: {key.workload: resolved[key] for key in per_label}
         for label, per_label in keys.items()
@@ -218,8 +286,22 @@ def _cmd_sweep(args: argparse.Namespace,
         ))
         csv_columns = speedup_columns
     stats = executor.stats
-    print(f"\n{stats.executed} simulated, {stats.cached} from cache"
-          + (f", {stats.retried} retried" if stats.retried else ""))
+    line = f"\n{stats.executed} simulated, {stats.cached} from cache"
+    if stats.resumed:
+        line += f", {stats.resumed} resumed from journal"
+    if stats.retried:
+        line += f", {stats.retried} retried"
+    if stats.transient_retries:
+        line += f", {stats.transient_retries} transient retries"
+    if stats.timeouts:
+        line += f", {stats.timeouts} timed out"
+    store = executor.store
+    if store is not None and (
+        store.stats.degraded_writes or store.stats.quarantined
+    ):
+        line += (f" (store: {store.stats.degraded_writes} degraded writes, "
+                 f"{store.stats.quarantined} quarantined)")
+    print(line)
     if args.csv:
         save_series_csv(csv_columns, args.csv)
         print(f"wrote {args.csv}")
@@ -310,6 +392,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    "(requires --epoch-metrics)")
     sweep_parser.add_argument("--progress", action="store_true",
                               help="print per-job progress to stderr")
+    sweep_parser.add_argument("--journal", default=None, metavar="PATH",
+                              help="sweep journal path (default: "
+                                   "<results-dir>/sweep.journal.jsonl)")
+    sweep_parser.add_argument("--no-journal", action="store_true",
+                              help="do not write a resume journal")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="finish a killed sweep: replay journaled "
+                                   "results and execute only the rest")
     add_settings_arguments(sweep_parser)
     profile_parser = sub.add_parser(
         "profile",
@@ -387,6 +477,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         passthrough += ["--no-store"]
     if args.epoch_metrics is not None:
         passthrough += ["--epoch-metrics", str(args.epoch_metrics)]
+    if args.retries != 1:
+        passthrough += ["--retries", str(args.retries)]
+    if args.timeout is not None:
+        passthrough += ["--timeout", str(args.timeout)]
     return _cmd_run(args.names, passthrough)
 
 

@@ -38,3 +38,16 @@ class WorkloadError(ReproError):
 
 class ExecutionError(ReproError):
     """A sweep job could not be completed (e.g. workers kept crashing)."""
+
+
+class TransientError(ReproError):
+    """A retryable failure: retrying the same operation may succeed.
+
+    The executor retries these (and :class:`OSError`) with exponential
+    backoff, unlike deterministic simulation errors which would fail
+    identically on every attempt.
+    """
+
+
+class JournalError(ExecutionError):
+    """A sweep journal is missing, unreadable, or corrupt."""

@@ -3,28 +3,52 @@
 * :mod:`repro.exec.jobs` — :class:`JobKey` (a deterministic, hashable
   name for one simulation) and :func:`execute_job` (its worker entry).
 * :mod:`repro.exec.store` — :class:`ResultStore`, a content-addressed
-  JSON-on-disk memo of :class:`~repro.sim.system.RunResult` records.
+  JSON-on-disk memo of :class:`~repro.sim.system.RunResult` records
+  with quarantine of corrupt entries.
 * :mod:`repro.exec.executor` — :class:`Executor`, which serves warm
-  keys from the store and fans cold keys out over a process pool.
+  keys from the store (or a resume journal) and fans cold keys out
+  over a process pool with retries, backoff, and a timeout watchdog.
+* :mod:`repro.exec.resilience` — :class:`BackoffPolicy`,
+  :class:`SweepJournal` (crash-safe ``--resume``), and quarantine
+  helpers.
+* :mod:`repro.exec.faults` — :class:`FaultPlan`, the deterministic
+  fault-injection harness (``REPRO_FAULT_PLAN``) that chaos-tests all
+  of the above.
 """
 
 from repro.exec.executor import Executor, ExecutorStats
+from repro.exec.faults import FAULT_PLAN_ENV, FaultPlan, fault_point
 from repro.exec.jobs import (
     RESULT_SCHEMA_VERSION,
     JobKey,
     execute_job,
+    execute_job_traced,
     parse_design_spec,
 )
-from repro.exec.store import RESULTS_DIR_ENV, ResultStore, default_store_root
+from repro.exec.resilience import BackoffPolicy, SweepJournal, quarantine_entry
+from repro.exec.store import (
+    RESULTS_DIR_ENV,
+    ResultStore,
+    StoreStats,
+    default_store_root,
+)
 
 __all__ = [
+    "BackoffPolicy",
     "Executor",
     "ExecutorStats",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
     "JobKey",
     "RESULT_SCHEMA_VERSION",
     "RESULTS_DIR_ENV",
     "ResultStore",
+    "StoreStats",
+    "SweepJournal",
     "default_store_root",
     "execute_job",
+    "execute_job_traced",
+    "fault_point",
     "parse_design_spec",
+    "quarantine_entry",
 ]

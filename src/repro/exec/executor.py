@@ -1,32 +1,70 @@
-"""Parallel sweep executor with memoization and crash retry.
+"""Parallel sweep executor with memoization, retries, and a watchdog.
 
 Jobs are independent (design, workload) simulations named by
 :class:`JobKey`. The executor serves warm keys from a
-:class:`ResultStore`, fans the cold ones out over a
-``ProcessPoolExecutor`` (or runs them inline for ``jobs=1``), retries
-jobs whose worker *process* died (deterministic simulation errors are
-not retried — they would fail identically), and reports progress
-through an optional callback.
+:class:`ResultStore` (and, when resuming, from a
+:class:`~repro.exec.resilience.SweepJournal`), fans the cold ones out
+over a ``ProcessPoolExecutor`` (or runs them inline for ``jobs=1``),
+and reports progress through an optional callback.
 
-Results are bit-identical to a serial run: every job rebuilds its trace
-from the seeded generator, so neither scheduling order nor process
-boundaries can perturb the outcome.
+Failure handling distinguishes three classes:
+
+* **Deterministic simulation errors** (:class:`~repro.errors.ReproError`
+  subclasses other than :class:`~repro.errors.TransientError`) are
+  never retried — they would fail identically — and propagate.
+* **Transient failures** (:class:`~repro.errors.TransientError`,
+  ``OSError``) are retried up to ``retries`` times with exponential
+  backoff and deterministic jitter (:class:`BackoffPolicy`).
+* **Dead or stuck workers**: a crashed worker breaks the pool; a
+  wall-clock watchdog (``timeout``) kills workers whose job overran.
+  Worker-side claim markers (:func:`execute_job_traced`) let the
+  executor attribute the break to the specific in-flight jobs of the
+  dead worker, so only those are charged a retry — the rest of the
+  batch is simply resubmitted. If the pool keeps breaking, execution
+  degrades gracefully to serial in the main process.
+
+Results are bit-identical to a fault-free serial run: every job
+rebuilds its trace from the seeded generator, so neither scheduling,
+retries, nor process boundaries can perturb the outcome.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import os
+import shutil
+import signal
+import tempfile
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
-from repro.errors import ConfigError, ExecutionError
-from repro.exec.jobs import JobKey, execute_job
+from repro.errors import (
+    ConfigError,
+    ExecutionError,
+    ReproError,
+    TransientError,
+)
+from repro.exec.jobs import JobKey, execute_job, execute_job_traced
+from repro.exec.resilience import (
+    BackoffPolicy,
+    SweepJournal,
+    claim_done,
+    clear_claim,
+    read_claim,
+)
 from repro.exec.store import ResultStore
 from repro.sim.system import RunResult
 
-#: progress(done, total, key, source) with source in {"cached", "run"}.
+#: progress(done, total, key, source) with source in
+#: {"cached", "run", "resumed"}.
 ProgressFn = Callable[[int, int, JobKey, str], None]
+
+#: Exceptions worth retrying: the same job may succeed on a later
+#: attempt. Everything else deterministic fails fast.
+TRANSIENT_EXCEPTIONS = (TransientError, OSError)
 
 
 @dataclass
@@ -35,7 +73,37 @@ class ExecutorStats:
 
     executed: int = 0
     cached: int = 0
+    resumed: int = 0
     retried: int = 0
+    transient_retries: int = 0
+    timeouts: int = 0
+    pool_breaks: int = 0
+    degraded_to_serial: bool = False
+
+
+class _PoolBroken(Exception):
+    """Internal: the pool died; ``suspects`` are the jobs to charge."""
+
+    def __init__(self, suspects: List[JobKey]):
+        super().__init__("process pool broke")
+        self.suspects = suspects
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+def _kill(pid: int) -> None:
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError, OSError):
+        pass
 
 
 class Executor:
@@ -47,16 +115,40 @@ class Executor:
         store: Optional[ResultStore] = None,
         retries: int = 1,
         progress: Optional[ProgressFn] = None,
+        timeout: Optional[float] = None,
+        backoff: Optional[BackoffPolicy] = None,
+        journal: Optional[SweepJournal] = None,
+        pool_break_limit: Optional[int] = None,
+        poll_interval: float = 0.2,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:
             raise ConfigError(f"retries must be >= 0, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigError(f"timeout must be positive, got {timeout}")
+        if poll_interval <= 0:
+            raise ConfigError(
+                f"poll_interval must be positive, got {poll_interval}"
+            )
         self.jobs = jobs
         self.store = store
         self.retries = retries
         self.progress = progress
+        self.timeout = timeout
+        self.journal = journal
+        self.pool_break_limit = (
+            pool_break_limit if pool_break_limit is not None
+            else max(3, retries + 2)
+        )
+        if self.pool_break_limit < 1:
+            raise ConfigError(
+                f"pool_break_limit must be >= 1, got {self.pool_break_limit}"
+            )
+        self._backoff = backoff if backoff is not None else BackoffPolicy()
+        self._poll = poll_interval
         self.stats = ExecutorStats()
+        self._forced_timeouts: Set[JobKey] = set()
 
     def run(self, keys: Sequence[JobKey]) -> Dict[JobKey, RunResult]:
         """Resolve every key to a result; ``stats`` reflects this call."""
@@ -73,12 +165,21 @@ class Executor:
         results: Dict[JobKey, RunResult] = {}
         pending: List[JobKey] = []
         for key in unique:
+            resumed = self._from_journal(key)
+            if resumed is not None:
+                results[key] = resumed
+                self.stats.resumed += 1
+                self._report(key, "resumed")
+                continue
             cached = self.store.get(key) if self.store is not None else None
             if cached is not None:
                 # The store ignores cosmetic labels; hand back the
                 # caller's exact design object.
-                results[key] = replace(cached, design=key.design)
+                result = replace(cached, design=key.design)
+                results[key] = result
                 self.stats.cached += 1
+                if self.journal is not None:
+                    self.journal.record_done(key, result)
                 self._report(key, "cached")
             else:
                 pending.append(key)
@@ -87,12 +188,24 @@ class Executor:
             return results
         if self.jobs == 1 or len(pending) == 1:
             for key in pending:
-                self._record(key, execute_job(key), results)
+                self._record(key, self._execute_serial(key), results)
         else:
             self._run_parallel(pending, results)
         return results
 
     # -- internals --------------------------------------------------------
+
+    def _from_journal(self, key: JobKey) -> Optional[RunResult]:
+        if self.journal is None:
+            return None
+        record = self.journal.lookup(key)
+        if record is None:
+            return None
+        try:
+            result = RunResult.from_dict(record)
+        except (ReproError, KeyError, TypeError, ValueError):
+            return None  # malformed journal entry: just re-run the job
+        return replace(result, design=key.design)
 
     def _record(
         self, key: JobKey, result: RunResult, results: Dict[JobKey, RunResult]
@@ -101,6 +214,8 @@ class Executor:
         self.stats.executed += 1
         if self.store is not None:
             self.store.put(key, result)
+        if self.journal is not None:
+            self.journal.record_done(key, result)
         self._report(key, "run")
 
     def _report(self, key: JobKey, source: str) -> None:
@@ -108,30 +223,233 @@ class Executor:
         if self.progress is not None:
             self.progress(self._done, self._total, key, source)
 
+    def _note(self, event: str, **fields) -> None:
+        if self.journal is not None:
+            self.journal.record_event(event, **fields)
+
+    # -- serial path (jobs=1, single pending job, or degraded) ------------
+
+    def _execute_serial(self, key: JobKey, attempts: int = 0) -> RunResult:
+        """Run a job inline, retrying transient failures with backoff."""
+        while True:
+            try:
+                return execute_job(key)
+            except TRANSIENT_EXCEPTIONS as exc:
+                attempts += 1
+                self.stats.transient_retries += 1
+                self._note(
+                    "retry", key=key.digest(), attempt=attempts,
+                    error=str(exc),
+                )
+                if attempts > self.retries:
+                    raise ExecutionError(
+                        f"{key.display} kept failing transiently "
+                        f"(gave up after {attempts} attempts): {exc}"
+                    ) from exc
+                self._backoff.sleep(attempts)
+
+    # -- parallel path ----------------------------------------------------
+
     def _run_parallel(
         self, pending: Sequence[JobKey], results: Dict[JobKey, RunResult]
     ) -> None:
-        remaining: Dict[JobKey, int] = {key: 0 for key in pending}
-        while remaining:
-            try:
-                workers = min(self.jobs, len(remaining))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        pool.submit(execute_job, key): key for key in remaining
-                    }
-                    for future in as_completed(futures):
-                        key = futures[future]
-                        # Deterministic simulation errors propagate here;
-                        # a dead worker raises BrokenProcessPool instead.
-                        self._record(key, future.result(), results)
-                        del remaining[key]
-            except BrokenProcessPool:
-                for key in remaining:
-                    remaining[key] += 1
-                dead = [k for k, tries in remaining.items() if tries > self.retries]
-                if dead:
-                    raise ExecutionError(
-                        f"worker process died repeatedly on {dead[0].display} "
-                        f"(gave up after {self.retries + 1} attempts)"
-                    ) from None
-                self.stats.retried += len(remaining)
+        attempts: Dict[JobKey, int] = {key: 0 for key in pending}
+        remaining: Dict[JobKey, None] = dict.fromkeys(pending)
+        claims = tempfile.mkdtemp(prefix="repro-claims-")
+        consecutive_breaks = 0
+        try:
+            while remaining:
+                if consecutive_breaks >= self.pool_break_limit:
+                    self._degrade_to_serial(remaining, results, attempts)
+                    return
+                self._forced_timeouts = set()
+                try:
+                    workers = min(self.jobs, len(remaining))
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        for key in remaining:
+                            clear_claim(claims, key.digest())
+                        futures = {
+                            pool.submit(execute_job_traced, key, claims): key
+                            for key in remaining
+                        }
+                        try:
+                            self._drain(
+                                pool, futures, remaining, results, attempts,
+                                claims,
+                            )
+                        except BrokenProcessPool:
+                            # Inspect pids *before* pool shutdown finishes
+                            # reaping, so live workers are still visible.
+                            raise _PoolBroken(
+                                self._suspects(claims, remaining)
+                            ) from None
+                    consecutive_breaks = 0
+                except _PoolBroken as broken:
+                    consecutive_breaks += 1
+                    self.stats.pool_breaks += 1
+                    self._penalize(broken.suspects, attempts)
+                    self._note(
+                        "pool_break",
+                        retried=[key.digest() for key in broken.suspects],
+                    )
+                    self._backoff.sleep(consecutive_breaks)
+        finally:
+            shutil.rmtree(claims, ignore_errors=True)
+
+    def _drain(
+        self,
+        pool: ProcessPoolExecutor,
+        futures: Dict,
+        remaining: Dict[JobKey, None],
+        results: Dict[JobKey, RunResult],
+        attempts: Dict[JobKey, int],
+        claims: str,
+    ) -> None:
+        """Collect results until the batch drains (or the pool breaks).
+
+        Transient job failures are rescheduled onto the same pool after
+        their backoff delay elapses (tracked as deadlines, so waiting
+        out one job's backoff never blocks the others or the watchdog).
+        """
+        outstanding = set(futures)
+        backoff_until: Dict[JobKey, float] = {}
+        while outstanding or backoff_until:
+            now = time.monotonic()
+            for key, ready_at in list(backoff_until.items()):
+                if now >= ready_at:
+                    del backoff_until[key]
+                    clear_claim(claims, key.digest())
+                    future = pool.submit(execute_job_traced, key, claims)
+                    futures[future] = key
+                    outstanding.add(future)
+            if not outstanding:
+                soonest = min(backoff_until.values())
+                time.sleep(max(0.0, min(soonest - time.monotonic(),
+                                        self._poll)))
+                continue
+            poll = (
+                self._poll
+                if self.timeout is not None or backoff_until
+                else None
+            )
+            done, outstanding = wait(outstanding, timeout=poll)
+            for future in done:
+                key = futures.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool:
+                    raise
+                except TRANSIENT_EXCEPTIONS as exc:
+                    attempts[key] += 1
+                    self.stats.transient_retries += 1
+                    self._note(
+                        "retry", key=key.digest(), attempt=attempts[key],
+                        error=str(exc),
+                    )
+                    if attempts[key] > self.retries:
+                        raise ExecutionError(
+                            f"{key.display} kept failing transiently "
+                            f"(gave up after {attempts[key]} attempts): {exc}"
+                        ) from exc
+                    backoff_until[key] = (
+                        time.monotonic() + self._backoff.delay(attempts[key])
+                    )
+                    continue
+                self._record(key, result, results)
+                del remaining[key]
+            if self.timeout is not None:
+                self._watchdog(futures, attempts, claims)
+
+    def _watchdog(
+        self, futures: Dict, attempts: Dict[JobKey, int], claims: str
+    ) -> None:
+        """Kill workers whose current job overran the wall-clock budget."""
+        now = time.time()
+        for future, key in list(futures.items()):
+            if future.done() or key in self._forced_timeouts:
+                continue
+            digest = key.digest()
+            claim = read_claim(claims, digest)
+            if claim is None or claim_done(claims, digest):
+                continue  # queued, finished, or marker unreadable
+            pid, started_at = claim
+            if now - started_at <= self.timeout:
+                continue
+            self._forced_timeouts.add(key)
+            self.stats.timeouts += 1
+            attempts[key] += 1
+            self._note(
+                "timeout", key=key.digest(), attempt=attempts[key],
+                timeout=self.timeout,
+            )
+            _kill(pid)  # breaks the pool; the break handler reschedules
+            if attempts[key] > self.retries:
+                raise ExecutionError(
+                    f"{key.display} exceeded the {self.timeout:g}s job "
+                    f"timeout (gave up after {attempts[key]} attempts)"
+                )
+
+    def _suspects(
+        self, claims: str, remaining: Dict[JobKey, None]
+    ) -> List[JobKey]:
+        """Jobs to charge for a pool break.
+
+        In-flight jobs whose claiming worker pid is dead are the
+        culprits. When the break was forced by the watchdog, the killed
+        job was already charged, so nobody else is. Only if attribution
+        fails entirely does this fall back to the whole in-flight set
+        (and last, the whole batch) so a repeatedly-poisonous job can
+        still exhaust its retry budget instead of looping forever.
+        """
+        in_flight: List[JobKey] = []
+        dead: List[JobKey] = []
+        for key in remaining:
+            if key in self._forced_timeouts:
+                continue
+            digest = key.digest()
+            claim = read_claim(claims, digest)
+            if claim is None or claim_done(claims, digest):
+                continue
+            in_flight.append(key)
+            if not _pid_alive(claim[0]):
+                dead.append(key)
+        if dead:
+            return dead
+        if self._forced_timeouts:
+            return []
+        if in_flight:
+            return in_flight
+        return list(remaining)
+
+    def _penalize(
+        self, suspects: Sequence[JobKey], attempts: Dict[JobKey, int]
+    ) -> None:
+        for key in suspects:
+            attempts[key] += 1
+            if attempts[key] > self.retries:
+                raise ExecutionError(
+                    f"worker process died repeatedly on {key.display} "
+                    f"(gave up after {attempts[key]} attempts)"
+                )
+        self.stats.retried += len(suspects)
+
+    def _degrade_to_serial(
+        self,
+        remaining: Dict[JobKey, None],
+        results: Dict[JobKey, RunResult],
+        attempts: Dict[JobKey, int],
+    ) -> None:
+        """Last resort: finish the batch inline in the main process."""
+        self.stats.degraded_to_serial = True
+        warnings.warn(
+            f"process pool broke {self.stats.pool_breaks} times in a row; "
+            f"finishing the remaining {len(remaining)} job(s) serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self._note("degraded_to_serial", remaining=len(remaining))
+        for key in list(remaining):
+            self._record(
+                key, self._execute_serial(key, attempts[key]), results
+            )
+            del remaining[key]

@@ -21,6 +21,8 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.core.accord import DESIGN_KINDS, AccordDesign
 from repro.errors import ConfigError
+from repro.exec.faults import SITE_JOB, fault_point
+from repro.exec.resilience import complete_claim, write_claim
 from repro.params.system import scaled_system
 from repro.sim.runner import DEFAULT_WARMUP, TraceFactory, run_design
 from repro.sim.system import RunResult
@@ -76,11 +78,15 @@ class JobKey:
         }
 
     def digest(self) -> str:
-        """Content address: SHA-256 over the canonical form."""
-        payload = json.dumps(
-            self.canonical(), sort_keys=True, separators=(",", ":")
-        )
-        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+        """Content address: SHA-256 over the canonical form (memoized)."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            payload = json.dumps(
+                self.canonical(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(payload.encode("ascii")).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     @property
     def display(self) -> str:
@@ -112,6 +118,7 @@ def _trace_factory(key: JobKey) -> TraceFactory:
 
 def execute_job(key: JobKey) -> RunResult:
     """Run the simulation a key names (worker entry point; picklable)."""
+    fault_point(SITE_JOB, token=key.digest())
     config = scaled_system(ways=key.design.ways, scale=key.scale)
     return run_design(
         key.design,
@@ -123,6 +130,22 @@ def execute_job(key: JobKey) -> RunResult:
         seed=key.seed,
         epoch=key.epoch,
     )
+
+
+def execute_job_traced(key: JobKey, claims_dir: str) -> RunResult:
+    """Worker entry recording start/done claim markers around the job.
+
+    The markers (``<digest>.started`` holding ``pid started_at``, and
+    ``<digest>.done``) let the parallel executor's watchdog attribute a
+    pool break or a wall-clock timeout to the specific jobs that were
+    in flight on the dead worker, instead of penalizing the whole
+    remaining batch.
+    """
+    digest = key.digest()
+    write_claim(claims_dir, digest)
+    result = execute_job(key)
+    complete_claim(claims_dir, digest)
+    return result
 
 
 # Field coercions for ``key=value`` parts of a design spec string.

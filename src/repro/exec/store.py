@@ -9,8 +9,11 @@ degrades to a cache miss, never to a wrong result.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent executors
 sharing one store directory can only ever race to write identical
-bytes. Corrupt or stale entries are discarded on read, not fatal; an
-unwritable store degrades to running every simulation.
+bytes. Corrupt or stale entries are *quarantined* on read — moved to
+``<root>/quarantine/`` with a ``.why`` sidecar naming the reason —
+never trusted and never silently deleted. A failed write degrades to
+running the simulation again next time: it is counted in
+``stats.degraded_writes`` and warned about once, not raised.
 
 The root defaults to ``$REPRO_RESULTS_DIR`` or ``~/.cache/repro``.
 """
@@ -21,11 +24,14 @@ import json
 import os
 import tempfile
 import warnings
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.errors import ReproError
+from repro.exec.faults import SITE_STORE_ENTRY, SITE_STORE_WRITE, fault_point
 from repro.exec.jobs import RESULT_SCHEMA_VERSION, JobKey
+from repro.exec.resilience import quarantine_entry
 from repro.sim.system import RunResult
 
 RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
@@ -39,40 +45,47 @@ def default_store_root() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+@dataclass
+class StoreStats:
+    """Degradation counters for one store instance."""
+
+    degraded_writes: int = 0
+    quarantined: int = 0
+
+
 class ResultStore:
     """Memoizes :class:`RunResult` objects keyed by :class:`JobKey`."""
 
     def __init__(self, root: Optional[Union[str, Path]] = None):
         self.root = Path(root) if root is not None else default_store_root()
-        self._broken = False
+        self.stats = StoreStats()
+        self._warned_write = False
 
     def path_for(self, key: JobKey) -> Path:
         digest = key.digest()
         return self.root / digest[:2] / f"{digest}.json"
 
     def get(self, key: JobKey) -> Optional[RunResult]:
-        """Stored result for ``key``, or None (discarding bad entries)."""
+        """Stored result for ``key``, or None (quarantining bad entries)."""
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
-        except FileNotFoundError:
-            return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self._discard(path)
+        except (FileNotFoundError, NotADirectoryError):
+            return None  # cold cache (or unusable root): a plain miss
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._quarantine(path, f"unreadable result entry: {exc}")
             return None
         try:
             if record["key"] != key.canonical():
                 raise ValueError("stored key does not match lookup key")
             return RunResult.from_dict(record["result"])
-        except (KeyError, TypeError, ValueError, ReproError):
-            self._discard(path)
+        except (KeyError, TypeError, ValueError, ReproError) as exc:
+            self._quarantine(path, f"malformed result entry: {exc}")
             return None
 
     def put(self, key: JobKey, result: RunResult) -> None:
-        """Persist a result; an unwritable store warns once and disables."""
-        if self._broken:
-            return
+        """Persist a result; a failed write is counted, never fatal."""
         path = self.path_for(key)
         record = {
             "schema": RESULT_SCHEMA_VERSION,
@@ -80,6 +93,7 @@ class ResultStore:
             "result": result.to_dict(),
         }
         try:
+            fault_point(SITE_STORE_WRITE, token=key.digest())
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 prefix=".tmp-", suffix=".json", dir=str(path.parent)
@@ -95,13 +109,18 @@ class ResultStore:
                     pass
                 raise
         except OSError as exc:
-            self._broken = True
-            warnings.warn(
-                f"result store at {self.root} is not writable ({exc}); "
-                "results from this run will not be memoized",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            self.stats.degraded_writes += 1
+            if not self._warned_write:
+                self._warned_write = True
+                warnings.warn(
+                    f"result store at {self.root} is not writable ({exc}); "
+                    "affected results will not be memoized "
+                    "(stats.degraded_writes counts the losses)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
+        fault_point(SITE_STORE_ENTRY, token=key.digest(), path=str(path))
 
     def __contains__(self, key: JobKey) -> bool:
         return self.path_for(key).is_file()
@@ -113,14 +132,17 @@ class ResultStore:
         return sum(
             1
             for shard in self.root.iterdir()
-            if shard.is_dir()
+            if shard.is_dir() and shard.name != "quarantine"
             for entry in shard.glob("*.json")
             if not entry.name.startswith(".tmp-")
         )
 
-    @staticmethod
-    def _discard(path: Path) -> None:
-        try:
-            path.unlink()
-        except OSError:
-            pass
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.stats.quarantined += 1
+        quarantine_entry(path, self.root, reason)
+        warnings.warn(
+            f"result store entry {path.name} quarantined "
+            f"under {self.root / 'quarantine'}: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )

@@ -50,6 +50,12 @@ class Settings:
     # Demand reads per phase-metrics sample (--epoch-metrics); None
     # disables phase-resolved recording.
     epoch: Optional[int] = None
+    # Transient-failure / dead-worker retry budget per job (--retries).
+    retries: int = 1
+    # Per-job wall-clock watchdog in seconds (--timeout); None disables.
+    # Only enforced on the parallel path, where a stuck worker can be
+    # killed and its job rescheduled.
+    timeout: Optional[float] = None
 
     def quick(self) -> "Settings":
         """A reduced configuration for smoke tests and CI."""
@@ -59,10 +65,17 @@ class Settings:
             suite=["soplex", "libq", "mcf", "sphinx"],
         )
 
-    def make_executor(self, progress=None) -> Executor:
-        """Executor honouring this configuration's jobs/store knobs."""
+    def make_executor(self, progress=None, journal=None) -> Executor:
+        """Executor honouring this configuration's resilience knobs."""
         store = ResultStore(self.results_dir) if self.use_store else None
-        return Executor(jobs=self.jobs, store=store, progress=progress)
+        return Executor(
+            jobs=self.jobs,
+            store=store,
+            retries=self.retries,
+            progress=progress,
+            timeout=self.timeout,
+            journal=journal,
+        )
 
 
 def _parse_workloads(text: str, parser: argparse.ArgumentParser) -> List[str]:
@@ -103,6 +116,13 @@ def add_settings_arguments(parser: argparse.ArgumentParser) -> None:
                         metavar="N", dest="epoch_metrics",
                         help="record phase-resolved metrics every N demand "
                              "reads (default: disabled)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="per-job retry budget for transient failures "
+                             "and dead workers (default 1; 0 = fail fast)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                        help="per-job wall-clock timeout in seconds; a stuck "
+                             "worker is killed and the job rescheduled "
+                             "(parallel runs only; default: none)")
 
 
 def settings_from_args(
@@ -133,12 +153,18 @@ def settings_from_args(
         parser.error("--jobs must be >= 1")
     if args.epoch_metrics is not None and args.epoch_metrics <= 0:
         parser.error("--epoch-metrics must be positive")
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
     return replace(
         settings,
         jobs=args.jobs,
         results_dir=args.results_dir,
         use_store=not args.no_store,
         epoch=args.epoch_metrics,
+        retries=args.retries,
+        timeout=args.timeout,
     )
 
 

@@ -124,6 +124,8 @@ def run_suite(
     jobs: int = 1,
     store=None,
     epoch: Optional[int] = None,
+    retries: int = 1,
+    timeout: Optional[float] = None,
 ) -> Dict[str, RunResult]:
     """Run one design across a workload suite.
 
@@ -131,7 +133,9 @@ def run_suite(
     routes through the parallel executor; that path requires the
     standard :func:`scaled_system` geometry (workers rebuild the config
     from ``(ways, scale)`` alone), so custom configs/trace factories
-    must run serially and unmemoized.
+    must run serially and unmemoized. ``retries`` bounds per-job retry
+    attempts on transient failures and dead workers; ``timeout`` is the
+    per-job wall-clock watchdog in seconds (parallel path only).
     """
     if not workloads:
         raise WorkloadError("workload suite is empty")
@@ -163,7 +167,9 @@ def run_suite(
             )
             for workload in workloads
         ]
-        resolved = Executor(jobs=jobs, store=store).run(keys)
+        resolved = Executor(
+            jobs=jobs, store=store, retries=retries, timeout=timeout
+        ).run(keys)
         return {key.workload: resolved[key] for key in keys}
     results: Dict[str, RunResult] = {}
     for workload in workloads:

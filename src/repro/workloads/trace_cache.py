@@ -16,7 +16,11 @@ trusting the payload, so a digest collision or hand-edited file
 degrades to a cache miss and regeneration, never to a wrong trace.
 Writes are atomic (temp file + ``os.replace``); concurrent sweep
 workers sharing one cache directory can only race to write identical
-bytes. An unwritable cache warns once and degrades to regenerating.
+bytes. An unwritable cache warns once and degrades to regenerating;
+each lost write is counted in ``stats.degraded_writes``. Corrupt or
+truncated entries (payload *or* sidecar) are quarantined on read —
+moved to ``<root>/quarantine/`` with a ``.why`` sidecar naming the
+reason — and the trace is regenerated from its seed, bit-identically.
 
 The root defaults to ``$REPRO_TRACE_DIR``, else
 ``$REPRO_RESULTS_DIR/traces``, else ``~/.cache/repro/traces``. Setting
@@ -38,6 +42,11 @@ import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
+
+# NOTE: repro.exec.{faults,resilience} are imported lazily inside the
+# methods that need them: importing anything under repro.exec at module
+# scope would run repro/exec/__init__.py, which (via jobs -> sim.runner)
+# imports this module back while it is still initializing.
 
 from repro.errors import TraceError, WorkloadError
 from repro.sim.trace import Trace, load_trace_npz, save_trace_npz
@@ -119,12 +128,21 @@ class TraceKey:
         return hashlib.sha256(self.canonical().encode("ascii")).hexdigest()
 
 
+@dataclass
+class TraceCacheStats:
+    """Degradation counters for one cache instance."""
+
+    degraded_writes: int = 0
+    quarantined: int = 0
+
+
 class TraceCache:
     """Memoizes generated :class:`Trace` objects keyed by :class:`TraceKey`."""
 
     def __init__(self, root: Optional[Union[str, Path]] = None):
         self.root = Path(root) if root is not None else default_trace_root()
-        self._broken = False
+        self.stats = TraceCacheStats()
+        self._warned_write = False
 
     def path_for(self, key: TraceKey) -> Path:
         digest = key.digest()
@@ -134,45 +152,56 @@ class TraceCache:
         return path.with_suffix(".key.json")
 
     def get(self, key: TraceKey) -> Optional[Trace]:
-        """Stored trace for ``key``, or None (discarding bad entries)."""
+        """Stored trace for ``key``, or None (quarantining bad entries)."""
         path = self.path_for(key)
         key_path = self._key_path(path)
         try:
             with open(key_path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
-        except FileNotFoundError:
-            return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self._discard(path)
+        except (FileNotFoundError, NotADirectoryError):
+            return None  # cold cache (or unusable root): a plain miss
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._quarantine(path, f"unreadable key sidecar: {exc}")
             return None
         if not isinstance(record, dict) or record.get("key") != key.canonical():
-            self._discard(path)
+            self._quarantine(path, "key sidecar does not match lookup key")
             return None
         try:
             return load_trace_npz(str(path))
         except FileNotFoundError:
+            self._quarantine(path, "key sidecar without npz payload")
             return None
-        except TraceError:
-            self._discard(path)
+        except TraceError as exc:
+            self._quarantine(path, f"corrupt npz payload: {exc}")
             return None
 
     def put(self, key: TraceKey, trace: Trace) -> None:
-        """Persist a trace; an unwritable cache warns once and disables."""
-        if self._broken:
-            return
+        """Persist a trace; a failed write is counted, never fatal."""
+        from repro.exec.faults import (
+            SITE_TRACE_ENTRY,
+            SITE_TRACE_WRITE,
+            fault_point,
+        )
+
         path = self.path_for(key)
         try:
+            fault_point(SITE_TRACE_WRITE, token=key.digest())
             path.parent.mkdir(parents=True, exist_ok=True)
             self._write_atomic_npz(path, trace)
             self._write_atomic_key(self._key_path(path), key)
         except (OSError, TraceError) as exc:
-            self._broken = True
-            warnings.warn(
-                f"trace cache at {self.root} is not writable ({exc}); "
-                "traces from this run will not be memoized",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            self.stats.degraded_writes += 1
+            if not self._warned_write:
+                self._warned_write = True
+                warnings.warn(
+                    f"trace cache at {self.root} is not writable ({exc}); "
+                    "affected traces will not be memoized "
+                    "(stats.degraded_writes counts the losses)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
+        fault_point(SITE_TRACE_ENTRY, token=key.digest(), path=str(path))
 
     @staticmethod
     def _write_atomic_npz(path: Path, trace: Trace) -> None:
@@ -221,17 +250,24 @@ class TraceCache:
         return sum(
             1
             for shard in self.root.iterdir()
-            if shard.is_dir()
+            if shard.is_dir() and shard.name != "quarantine"
             for entry in shard.glob("*.npz")
             if not entry.name.startswith(".tmp-")
         )
 
-    def _discard(self, path: Path) -> None:
-        for victim in (path, self._key_path(path)):
-            try:
-                victim.unlink()
-            except OSError:
-                pass
+    def _quarantine(self, path: Path, reason: str) -> None:
+        from repro.exec.resilience import quarantine_entry
+
+        self.stats.quarantined += 1
+        quarantine_entry(
+            path, self.root, reason, extras=(self._key_path(path),)
+        )
+        warnings.warn(
+            f"trace cache entry {path.name} quarantined "
+            f"under {self.root / 'quarantine'}: {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 _SHARED: Dict[str, TraceCache] = {}

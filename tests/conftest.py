@@ -14,6 +14,13 @@ def _isolated_result_store(tmp_path_factory, monkeypatch):
     monkeypatch.setenv("REPRO_RESULTS_DIR", str(root))
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_fault_plan(monkeypatch):
+    """Fault injection is opt-in per test, never inherited from the
+    invoking shell's REPRO_FAULT_PLAN."""
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+
+
 @pytest.fixture
 def geom_dm():
     """Tiny direct-mapped geometry: 8KB, 64B lines -> 128 sets."""

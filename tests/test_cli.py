@@ -105,6 +105,86 @@ class TestSweepCli:
             main(self.ARGS + ["--epoch-metrics", "0"])
 
 
+class TestResilienceCli:
+    ARGS = ["sweep", "--designs", "direct,accord:2",
+            "--workloads", "soplex,libq", "--accesses", "3000"]
+
+    def test_journal_written_by_default(self, tmp_path):
+        assert main(self.ARGS + ["--results-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "sweep.journal.jsonl").exists()
+
+    def test_no_journal_skips_writing(self, tmp_path):
+        assert main(self.ARGS + ["--results-dir", str(tmp_path),
+                                 "--no-journal"]) == 0
+        assert not (tmp_path / "sweep.journal.jsonl").exists()
+
+    def test_execution_failure_exits_3(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setenv("REPRO_FAULT_PLAN",
+                           f"os_error=9;dir={tmp_path / 'ledger'}")
+        code = main(self.ARGS + ["--results-dir", str(tmp_path),
+                                 "--retries", "0"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "sweep failed" in err
+        assert "--resume" in err  # points at the recovery path
+
+    def test_retries_heal_transient_faults(self, monkeypatch, tmp_path,
+                                           capsys):
+        monkeypatch.setenv("REPRO_FAULT_PLAN",
+                           f"os_error=2;dir={tmp_path / 'ledger'}")
+        assert main(self.ARGS + ["--results-dir", str(tmp_path),
+                                 "--retries", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "4 simulated, 0 from cache" in out
+        assert "transient retries" in out
+
+    def test_malformed_fault_plan_exits_2(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "bogus=1")
+        with pytest.raises(SystemExit) as info:
+            main(self.ARGS)
+        assert info.value.code == 2
+
+    def test_rejects_bad_retries_and_timeout(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--retries", "-1"])
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--timeout", "0"])
+
+    def test_resume_replays_journal(self, tmp_path, capsys):
+        journal = tmp_path / "j.jsonl"
+        assert main(self.ARGS + ["--results-dir", str(tmp_path / "store"),
+                                 "--journal", str(journal)]) == 0
+        capsys.readouterr()
+        # --no-store on the resume run proves the journal alone can
+        # supply every result.
+        assert main(self.ARGS + ["--no-store", "--journal", str(journal),
+                                 "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "0 simulated, 0 from cache, 4 resumed from journal" \
+            in captured.out
+        assert "resuming: 4/4" in captured.err
+
+    def test_resume_with_changed_sweep_exits_2(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        assert main(self.ARGS + ["--results-dir", str(tmp_path / "store"),
+                                 "--journal", str(journal)]) == 0
+        with pytest.raises(SystemExit) as info:
+            main(["sweep", "--designs", "direct", "--workloads",
+                  "soplex,libq", "--accesses", "3000",
+                  "--journal", str(journal), "--resume"])
+        assert info.value.code == 2
+
+    def test_resume_without_journal_file_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as info:
+            main(self.ARGS + ["--journal", str(tmp_path / "ghost.jsonl"),
+                              "--resume"])
+        assert info.value.code == 2
+
+    def test_resume_conflicts_with_no_journal(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--resume", "--no-journal"])
+
+
 class TestProfileCli:
     def test_profile_prints_summary(self, capsys):
         assert main(["profile", "soplex", "--accesses", "2000"]) == 0

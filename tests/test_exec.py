@@ -136,6 +136,45 @@ class TestResultStore:
             store.put(key, result)
         store.put(key, result)  # subsequent puts are silent no-ops
         assert store.get(key) is None
+        # Every swallowed write is surfaced as a stat, not just the
+        # first (warned-about) one.
+        assert store.stats.degraded_writes == 2
+
+    def test_corrupt_entry_quarantined_with_reason(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = key_for()
+        store.put(key, execute_job(key))
+        path = store.path_for(key)
+        path.write_text("{ not json", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.get(key) is None
+        assert store.stats.quarantined == 1
+        qdir = tmp_path / "quarantine"
+        assert (qdir / path.name).read_text(encoding="utf-8") == "{ not json"
+        why = json.loads((qdir / f"{path.name}.why").read_text("utf-8"))
+        assert "unreadable" in why["reason"]
+        assert len(store) == 0  # the quarantine shard is not an entry
+
+    def test_mismatched_schema_entry_quarantined_and_rerun(self, tmp_path):
+        # An entry whose result no longer matches the RunResult schema
+        # (e.g. written by a different version) must be quarantined and
+        # the job re-run, never crash or serve garbage.
+        store = ResultStore(tmp_path)
+        key = key_for()
+        fresh = execute_job(key)
+        store.put(key, fresh)
+        path = store.path_for(key)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["result"]["timing"]["not_a_field"] = 1.0
+        path.write_text(json.dumps(record), encoding="utf-8")
+
+        ex = Executor(jobs=1, store=store)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            results = ex.run([key])
+        assert ex.stats.executed == 1 and ex.stats.cached == 0
+        assert store.stats.quarantined == 1
+        assert results[key].to_dict() == fresh.to_dict()
+        assert store.get(key) is not None  # re-run result was re-stored
 
 
 class TestExecutor:

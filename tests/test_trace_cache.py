@@ -152,6 +152,47 @@ class TestTraceCache:
         assert cache.get(key) is None
         assert len(cache) == 0
 
+    def test_corrupt_key_sidecar_quarantined(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key = self.key()
+        cache.put(key, small_trace())
+        path = cache.path_for(key)
+        sidecar = cache._key_path(path)
+        sidecar.write_text("{ not json", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(key) is None
+        assert cache.stats.quarantined == 1
+        qdir = tmp_path / "quarantine"
+        # Entry and sidecar are moved aside (inspectable), not deleted.
+        assert (qdir / path.name).exists()
+        assert (qdir / sidecar.name).exists()
+        assert (qdir / f"{path.name}.why").exists()
+        assert len(cache) == 0
+        # The slot is usable again after quarantine.
+        trace = small_trace()
+        cache.put(key, trace)
+        assert_traces_equal(cache.get(key), trace)
+
+    def test_truncated_key_sidecar_quarantined(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key = self.key()
+        cache.put(key, small_trace())
+        sidecar = cache._key_path(cache.path_for(key))
+        text = sidecar.read_text(encoding="utf-8")
+        sidecar.write_text(text[: len(text) // 2], encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(key) is None
+        assert cache.stats.quarantined == 1
+
+    def test_sidecar_without_payload_quarantined(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        key = self.key()
+        cache.put(key, small_trace())
+        cache.path_for(key).unlink()
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert cache.get(key) is None
+        assert cache.stats.quarantined == 1
+
     def test_unwritable_root_warns_once_and_degrades(self, tmp_path):
         blocker = tmp_path / "blocked"
         blocker.write_text("a file where the root should be")
