@@ -111,13 +111,15 @@ def _cmd_profile(args: argparse.Namespace,
                  parser: argparse.ArgumentParser) -> int:
     from repro.errors import ReproError
     from repro.params.system import scaled_system
-    from repro.sim.profile import profile_trace
+    from repro.sim.profile import profile_shards, profile_trace, shard_summary
     from repro.sim.runner import TraceFactory
 
     if not 0.0 < args.scale <= 1.0:
         parser.error("--scale must be in (0, 1]")
     if args.accesses <= 0:
         parser.error("--accesses must be positive")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
     try:
         factory = TraceFactory(
             scaled_system(ways=1, scale=args.scale), args.accesses, args.seed
@@ -133,6 +135,16 @@ def _cmd_profile(args: argparse.Namespace,
     print(f"Trace profile: {args.workload} "
           f"(scale {args.scale:g}, seed {args.seed})")
     print(profile.summary())
+    if args.shards > 1:
+        try:
+            shard_profiles = profile_shards(
+                trace, args.shards, scale=args.scale, seed=args.seed
+            )
+        except ReproError as exc:
+            parser.error(str(exc))
+        print()
+        print(f"Shard attribution ({args.shards} set-range shards):")
+        print(shard_summary(shard_profiles))
     return 0
 
 
@@ -314,10 +326,13 @@ def _cmd_bench(args: argparse.Namespace,
     from repro.sim.bench import (
         DEFAULT_ACCESSES,
         QUICK_ACCESSES,
+        compare_hit_rates,
         compare_to_baseline,
         format_report,
+        format_scaling_report,
         load_report,
         run_bench,
+        run_shard_scaling,
         save_report,
     )
 
@@ -330,6 +345,28 @@ def _cmd_bench(args: argparse.Namespace,
         parser.error("--scale must be in (0, 1]")
     if not 0.0 <= args.max_regression < 1.0:
         parser.error("--max-regression must be a fraction in [0, 1)")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.shard_scaling and args.shards < 2:
+        parser.error("--shard-scaling needs --shards >= 2")
+    if args.shard_scaling:
+        try:
+            report = run_shard_scaling(
+                workload=args.workload,
+                num_accesses=accesses,
+                seed=args.seed,
+                scale=args.scale,
+                repeats=args.repeats,
+                shards=args.shards,
+            )
+        except ReproError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(format_scaling_report(report))
+        if args.json:
+            save_report(report, args.json)
+            print(f"wrote {args.json}")
+        return 0
     try:
         report = run_bench(
             workload=args.workload,
@@ -337,6 +374,7 @@ def _cmd_bench(args: argparse.Namespace,
             seed=args.seed,
             scale=args.scale,
             repeats=args.repeats,
+            shards=args.shards,
         )
     except ReproError as exc:
         parser.error(str(exc))
@@ -344,6 +382,17 @@ def _cmd_bench(args: argparse.Namespace,
     if args.json:
         save_report(report, args.json)
         print(f"wrote {args.json}")
+    if args.check_hit_rates:
+        try:
+            reference = load_report(args.check_hit_rates)
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        mismatch = compare_hit_rates(report, reference)
+        if mismatch is not None:
+            print(f"FAIL: {mismatch}", file=sys.stderr)
+            return 1
+        print(f"hit rates identical to {args.check_hit_rates}")
     if args.baseline:
         try:
             baseline = load_report(args.baseline)
@@ -419,6 +468,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile_parser.add_argument("--no-reuse", action="store_true",
                                 help="skip the reuse-distance estimate "
                                      "(faster on long traces)")
+    profile_parser.add_argument("--shards", type=int, default=1,
+                                help="also time each of N set-range shards "
+                                     "to attribute where a sharded run's "
+                                     "wall-clock goes (default: off)")
     bench_parser = sub.add_parser(
         "bench",
         help="measure functional-simulator throughput (accesses/sec)",
@@ -446,6 +499,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                               dest="max_regression",
                               help="tolerated aggregate slowdown vs the "
                                    "baseline, as a fraction (default 0.30)")
+    bench_parser.add_argument("--shards", type=int, default=1,
+                              help="set-range shards per run; shardable "
+                                   "designs split across a worker pool with "
+                                   "a bit-identical merge (default 1)")
+    bench_parser.add_argument("--shard-scaling", action="store_true",
+                              dest="shard_scaling",
+                              help="run the bench at shards=1 and --shards N "
+                                   "and report the speedup (BENCH_shard.json)")
+    bench_parser.add_argument("--check-hit-rates", default=None,
+                              dest="check_hit_rates", metavar="PATH",
+                              help="assert per-design hit rates are exactly "
+                                   "identical to a reference report; exit 1 "
+                                   "on any difference (CI determinism gate)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -471,6 +537,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         passthrough += ["--quick"]
     if args.jobs != 1:
         passthrough += ["--jobs", str(args.jobs)]
+    if args.shards != 1:
+        passthrough += ["--shards", str(args.shards)]
     if args.results_dir is not None:
         passthrough += ["--results-dir", args.results_dir]
     if args.no_store:

@@ -22,6 +22,9 @@ class DcpDirectory:
     """
 
     authoritative = True
+    # Each line address maps to exactly one set, so the exact directory
+    # partitions cleanly by set range — safe to shard.
+    shardable = True
 
     def __init__(self):
         self._way_of: Dict[int, int] = {}
@@ -61,6 +64,10 @@ class FiniteDcpDirectory:
     """
 
     authoritative = False
+    # The LRU capacity bound is global: whether set s's entry survives
+    # depends on every other set's insertions, so sharding would change
+    # which writebacks must probe. Falls back to the serial path.
+    shardable = False
 
     def __init__(self, capacity: int = 128 * 1024):
         if capacity <= 0:

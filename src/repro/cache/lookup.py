@@ -87,6 +87,7 @@ class ParallelLookup:
     """
 
     kind = LookupKind.PARALLEL
+    shardable = True  # stateless flow
 
     def lookup(
         self,
@@ -114,6 +115,7 @@ class SerialLookup:
     """
 
     kind = LookupKind.SERIAL
+    shardable = True  # stateless flow
 
     def lookup(
         self,
@@ -146,6 +148,7 @@ class WayPredictedLookup:
     """
 
     kind = LookupKind.WAY_PREDICTED
+    shardable = True  # stateless flow
 
     def lookup(
         self,

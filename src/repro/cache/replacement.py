@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.storage import TagStore
-from repro.utils.rng import XorShift64
+from repro.utils.rng import SetLocalRng, XorShift64
 
 
 @runtime_checkable
@@ -41,18 +41,25 @@ class ReplacementPolicy(Protocol):
 
 
 class RandomReplacement:
-    """Update-free random victim selection (the paper's default)."""
+    """Update-free random victim selection (the paper's default).
+
+    Victim draws come from a per-set counter-based stream
+    (:class:`SetLocalRng`), so the choice sequence for one set does not
+    depend on accesses to other sets — the property set-sharded runs
+    rely on for bit-identical merges.
+    """
 
     update_transfers_on_hit = 0
+    shardable = True
 
     def __init__(self, rng: Optional[XorShift64] = None):
-        self._rng = rng or XorShift64(0xACC0)
+        self._rng = SetLocalRng.from_stream(rng or XorShift64(0xACC0))
 
     def victim(self, set_index: int, candidates: Sequence[int], store: TagStore) -> int:
         invalid = [w for w in candidates if not store.is_valid(set_index, w)]
         if invalid:
             return invalid[0]
-        return candidates[self._rng.next_below(len(candidates))]
+        return candidates[self._rng.next_below(set_index, len(candidates))]
 
     def on_hit(self, set_index: int, way: int) -> None:
         pass
@@ -70,6 +77,10 @@ class LruReplacement:
     """
 
     update_transfers_on_hit = 1
+    # The global clock is shared across sets, but victim() only compares
+    # stamps *within* one set, and within a set their relative order is
+    # exactly the set's own touch order — interleaving-invariant.
+    shardable = True
 
     def __init__(self, geometry: CacheGeometry):
         self.geometry = geometry
@@ -103,11 +114,12 @@ class NruReplacement:
     """
 
     update_transfers_on_hit = 1
+    shardable = True
 
     def __init__(self, geometry: CacheGeometry, rng: Optional[XorShift64] = None):
         self.geometry = geometry
         self._referenced = np.zeros((geometry.num_sets, geometry.ways), dtype=bool)
-        self._rng = rng or XorShift64(0x0879)
+        self._rng = SetLocalRng.from_stream(rng or XorShift64(0x0879))
 
     def victim(self, set_index: int, candidates: Sequence[int], store: TagStore) -> int:
         invalid = [w for w in candidates if not store.is_valid(set_index, w)]
@@ -119,7 +131,7 @@ class NruReplacement:
             # Epoch rollover: clear the set's reference bits.
             self._referenced[set_index, :] = False
             not_recent = list(candidates)
-        return not_recent[self._rng.next_below(len(not_recent))]
+        return not_recent[self._rng.next_below(set_index, len(not_recent))]
 
     def on_hit(self, set_index: int, way: int) -> None:
         self._referenced[set_index, way] = True
@@ -157,6 +169,7 @@ class RripReplacement:
     """
 
     update_transfers_on_hit = 1
+    shardable = True
 
     def __init__(self, geometry: CacheGeometry, bits: int = 2,
                  rng: Optional[XorShift64] = None):
@@ -167,7 +180,7 @@ class RripReplacement:
         self._rrpv = np.full(
             (geometry.num_sets, geometry.ways), self.max_rrpv, dtype=np.int8
         )
-        self._rng = rng or XorShift64(0x5121)
+        self._rng = SetLocalRng.from_stream(rng or XorShift64(0x5121))
 
     def victim(self, set_index: int, candidates: Sequence[int], store: TagStore) -> int:
         invalid = [w for w in candidates if not store.is_valid(set_index, w)]
@@ -177,7 +190,7 @@ class RripReplacement:
         while True:
             stale = [w for w in candidates if row[w] >= self.max_rrpv]
             if stale:
-                return stale[self._rng.next_below(len(stale))]
+                return stale[self._rng.next_below(set_index, len(stale))]
             for way in candidates:
                 row[way] += 1
 

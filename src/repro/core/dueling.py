@@ -38,6 +38,10 @@ class DuelingPwsSteering(InstallSteering):
     """PWS whose PIP is chosen at runtime by set-dueling."""
 
     name = "dueling-pws"
+    # PSEL is one global counter bumped by leader sets of *all* shards;
+    # followers read it, so the install choice for set s depends on
+    # other sets' misses. Not shardable.
+    shardable = False
 
     def __init__(
         self,

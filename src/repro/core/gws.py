@@ -87,6 +87,10 @@ class GangedWaySteering(InstallSteering):
     """Install steering that gangs region installs to one way."""
 
     name = "gws"
+    # The RIT/RLT are *global* LRU tables updated by every region's
+    # traffic; splitting by set range changes their contents, so GWS
+    # must run on the serial path (cache_is_shardable -> False).
+    shardable = False
 
     def __init__(
         self,
@@ -145,6 +149,10 @@ class GangedWayPredictor(WayPredictor):
     """Prediction half of GWS: last-way-seen per recent region (RLT)."""
 
     name = "gws"
+    # The RIT/RLT are *global* LRU tables updated by every region's
+    # traffic; splitting by set range changes their contents, so GWS
+    # must run on the serial path (cache_is_shardable -> False).
+    shardable = False
 
     def __init__(
         self,

@@ -25,13 +25,17 @@ import numpy as np
 from repro.cache.geometry import CacheGeometry
 from repro.cache.storage import TagStore
 from repro.core.steering import preferred_way, ways_bits
-from repro.utils.rng import XorShift64, mix64
+from repro.utils.rng import SetLocalRng, XorShift64, mix64
 
 
 class WayPredictor:
     """Base class; default implementation is stateless."""
 
     name = "base"
+    # Set-sharding capability (see repro.core.protocols): True means all
+    # mutable state consulted for set s depends only on accesses to set
+    # s. Conservative default is False; set-local subclasses opt in.
+    shardable = False
 
     def __init__(self, geometry: CacheGeometry):
         self.geometry = geometry
@@ -61,19 +65,21 @@ class RandomPredictor(WayPredictor):
     """Uniformly random first probe — the 0-byte strawman of Table II."""
 
     name = "rand"
+    shardable = True  # per-set counter-based stream
 
     def __init__(self, geometry: CacheGeometry, rng: Optional[XorShift64] = None):
         super().__init__(geometry)
-        self._rng = rng or XorShift64(0x9A4D)
+        self._rng = SetLocalRng.from_stream(rng or XorShift64(0x9A4D))
 
     def predict(self, set_index: int, tag: int, addr: int) -> int:
-        return self._rng.next_below(self.ways)
+        return self._rng.next_below(set_index, self.ways)
 
 
 class StaticPreferredPredictor(WayPredictor):
     """ACCORD's stateless prediction: the tag's preferred way."""
 
     name = "preferred"
+    shardable = True  # stateless
 
     def predict(self, set_index: int, tag: int, addr: int) -> int:
         return preferred_way(tag, self.ways)
@@ -88,6 +94,7 @@ class MruPredictor(WayPredictor):
     """
 
     name = "mru"
+    shardable = True  # one MRU way per set
 
     def __init__(self, geometry: CacheGeometry):
         super().__init__(geometry)
@@ -119,6 +126,7 @@ class PartialTagPredictor(WayPredictor):
     """
 
     name = "partial_tag"
+    shardable = True  # partial tags are per (set, way)
 
     def __init__(self, geometry: CacheGeometry, bits: int = 4):
         super().__init__(geometry)
@@ -158,6 +166,7 @@ class PerfectPredictor(WayPredictor):
     """
 
     name = "perfect"
+    shardable = True  # reads the (set-local) tag store only
 
     def __init__(self, geometry: CacheGeometry, store: TagStore):
         super().__init__(geometry)

@@ -20,7 +20,7 @@ from repro.cache.replacement import ReplacementPolicy
 from repro.cache.storage import TagStore
 from repro.core.steering import InstallSteering, preferred_way
 from repro.errors import PolicyError
-from repro.utils.rng import XorShift64
+from repro.utils.rng import SetLocalRng, XorShift64
 
 DEFAULT_PIP = 0.85
 
@@ -29,6 +29,10 @@ class ProbabilisticWaySteering(InstallSteering):
     """Install into the tag-preferred way with probability ``pip``."""
 
     name = "pws"
+    # The PIP coin is drawn from a per-set counter-based stream, so the
+    # install choices for one set are independent of other sets' traffic
+    # and set-sharded runs merge bit-identically.
+    shardable = True
 
     def __init__(
         self,
@@ -43,7 +47,7 @@ class ProbabilisticWaySteering(InstallSteering):
             # A 1-way cache has no alternate; treat it as direct-mapped.
             pip = 1.0
         self.pip = pip
-        self._rng = rng or XorShift64(0x1B39)
+        self._rng = SetLocalRng.from_stream(rng or XorShift64(0x1B39))
 
     def choose_install_way(
         self,
@@ -54,14 +58,17 @@ class ProbabilisticWaySteering(InstallSteering):
         replacement: ReplacementPolicy,
     ) -> int:
         return self.steer_among(
-            self.candidate_ways(set_index, tag), tag
+            set_index, self.candidate_ways(set_index, tag), tag
         )
 
-    def steer_among(self, candidates: Sequence[int], tag: int) -> int:
+    def steer_among(
+        self, set_index: int, candidates: Sequence[int], tag: int
+    ) -> int:
         """Apply the PIP coin flip over an explicit candidate list.
 
         Split out so SWS can reuse the same biased choice over its
-        two-entry candidate set.
+        two-entry candidate set. ``set_index`` selects the per-set
+        random stream the coin is drawn from.
         """
         preferred = preferred_way(tag, self.ways)
         if preferred not in candidates:
@@ -70,10 +77,10 @@ class ProbabilisticWaySteering(InstallSteering):
             raise PolicyError(
                 f"preferred way {preferred} not among candidates {candidates}"
             )
-        if len(candidates) == 1 or self._rng.next_bool(self.pip):
+        if len(candidates) == 1 or self._rng.next_bool(set_index, self.pip):
             return preferred
         others = [w for w in candidates if w != preferred]
-        return others[self._rng.next_below(len(others))]
+        return others[self._rng.next_below(set_index, len(others))]
 
     def storage_bits(self) -> int:
         return 0  # PWS is stateless (Table IX)

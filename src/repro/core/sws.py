@@ -93,6 +93,9 @@ class SkewedWaySteering(InstallSteering):
     """
 
     name = "sws"
+    # Candidates are pure in the tag and the install coin is per-set
+    # (via PWS's set-local stream), so SWS is safe to shard by set.
+    shardable = True
 
     def __init__(
         self,
@@ -130,7 +133,7 @@ class SkewedWaySteering(InstallSteering):
         replacement: ReplacementPolicy,
     ) -> int:
         candidates = self.candidate_ways(set_index, tag)
-        return self._pws.steer_among(candidates, tag)
+        return self._pws.steer_among(set_index, candidates, tag)
 
     def storage_bits(self) -> int:
         return 0  # the hash is combinational logic (Table IX)

@@ -21,9 +21,14 @@ from repro.exec.faults import FAULT_PLAN_ENV, FaultPlan, fault_point
 from repro.exec.jobs import (
     RESULT_SCHEMA_VERSION,
     JobKey,
+    ShardTask,
     execute_job,
+    execute_job_sharded,
     execute_job_traced,
+    execute_shard,
+    execute_shard_traced,
     parse_design_spec,
+    plan_shards,
 )
 from repro.exec.resilience import BackoffPolicy, SweepJournal, quarantine_entry
 from repro.exec.store import (
@@ -43,12 +48,17 @@ __all__ = [
     "RESULT_SCHEMA_VERSION",
     "RESULTS_DIR_ENV",
     "ResultStore",
+    "ShardTask",
     "StoreStats",
     "SweepJournal",
     "default_store_root",
     "execute_job",
+    "execute_job_sharded",
     "execute_job_traced",
+    "execute_shard",
+    "execute_shard_traced",
     "fault_point",
     "parse_design_spec",
+    "plan_shards",
     "quarantine_entry",
 ]

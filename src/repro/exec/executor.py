@@ -7,6 +7,16 @@ Jobs are independent (design, workload) simulations named by
 over a ``ProcessPoolExecutor`` (or runs them inline for ``jobs=1``),
 and reports progress through an optional callback.
 
+With ``shards > 1``, each cold job whose design declares the
+``shardable`` capability is additionally split into set-range
+:class:`~repro.exec.jobs.ShardTask` items that share the same pool —
+intra-run parallelism, so even a single long simulation spreads over
+the cores — and the shard outcomes merge into a result bit-identical
+to the serial run (:func:`repro.sim.shard.merge_outcomes`). Completed
+shards are journaled individually, so ``--resume`` restarts a
+half-finished job from its surviving shards. Serial-only designs run
+whole, with a one-time fallback warning.
+
 Failure handling distinguishes three classes:
 
 * **Deterministic simulation errors** (:class:`~repro.errors.ReproError`
@@ -47,7 +57,16 @@ from repro.errors import (
     ReproError,
     TransientError,
 )
-from repro.exec.jobs import JobKey, execute_job, execute_job_traced
+from repro.exec.jobs import (
+    JobKey,
+    ShardTask,
+    execute_job,
+    execute_job_sharded,
+    execute_job_traced,
+    execute_shard,
+    execute_shard_traced,
+    plan_shards,
+)
 from repro.exec.resilience import (
     BackoffPolicy,
     SweepJournal,
@@ -56,6 +75,8 @@ from repro.exec.resilience import (
     read_claim,
 )
 from repro.exec.store import ResultStore
+from repro.params.system import scaled_system
+from repro.sim.shard import ShardOutcome, mark_worker_process, merge_outcomes
 from repro.sim.system import RunResult
 
 #: progress(done, total, key, source) with source in
@@ -120,9 +141,12 @@ class Executor:
         journal: Optional[SweepJournal] = None,
         pool_break_limit: Optional[int] = None,
         poll_interval: float = 0.2,
+        shards: int = 1,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
         if retries < 0:
             raise ConfigError(f"retries must be >= 0, got {retries}")
         if timeout is not None and timeout <= 0:
@@ -132,6 +156,7 @@ class Executor:
                 f"poll_interval must be positive, got {poll_interval}"
             )
         self.jobs = jobs
+        self.shards = shards
         self.store = store
         self.retries = retries
         self.progress = progress
@@ -229,10 +254,21 @@ class Executor:
 
     # -- serial path (jobs=1, single pending job, or degraded) ------------
 
-    def _execute_serial(self, key: JobKey, attempts: int = 0) -> RunResult:
-        """Run a job inline, retrying transient failures with backoff."""
+    def _execute_serial(
+        self, key: JobKey, attempts: int = 0, allow_shards: bool = True
+    ) -> RunResult:
+        """Run a job inline, retrying transient failures with backoff.
+
+        With ``shards > 1`` the single job still fans its set shards
+        out over an intra-run pool (:func:`execute_job_sharded`) —
+        unless ``allow_shards`` is False, which the degraded path uses
+        to avoid spawning pools right after pools kept breaking.
+        """
+        use_shards = allow_shards and self.shards > 1
         while True:
             try:
+                if use_shards:
+                    return execute_job_sharded(key, self.shards)
                 return execute_job(key)
             except TRANSIENT_EXCEPTIONS as exc:
                 attempts += 1
@@ -248,13 +284,125 @@ class Executor:
                     ) from exc
                 self._backoff.sleep(attempts)
 
+    def _execute_shard_inline(self, task: ShardTask, attempts: int = 0):
+        """Run one shard in-process with the same transient-retry loop."""
+        while True:
+            try:
+                return execute_shard(task)
+            except TRANSIENT_EXCEPTIONS as exc:
+                attempts += 1
+                self.stats.transient_retries += 1
+                self._note(
+                    "retry", key=task.digest(), attempt=attempts,
+                    error=str(exc),
+                )
+                if attempts > self.retries:
+                    raise ExecutionError(
+                        f"{task.display} kept failing transiently "
+                        f"(gave up after {attempts} attempts): {exc}"
+                    ) from exc
+                self._backoff.sleep(attempts)
+
     # -- parallel path ----------------------------------------------------
+
+    def _flatten(
+        self, pending: Sequence[JobKey], results: Dict[JobKey, RunResult]
+    ) -> List:
+        """Expand shardable jobs into per-shard work items.
+
+        With ``shards > 1``, each job whose design declares the
+        ``shardable`` capability becomes ``count`` :class:`ShardTask`
+        items (shards of one job spread over the pool alongside other
+        jobs); serial-only designs stay whole-job items. Journaled
+        shard outcomes are absorbed up front — shard-granularity
+        resume — and a job whose every shard was journaled merges on
+        the spot without touching the pool.
+        """
+        self._shard_parts: Dict[JobKey, Dict[int, ShardOutcome]] = {}
+        self._shard_counts: Dict[JobKey, int] = {}
+        items: List = []
+        for key in pending:
+            count = plan_shards(key, self.shards)
+            if count <= 1:
+                items.append(key)
+                continue
+            self._shard_counts[key] = count
+            parts: Dict[int, ShardOutcome] = {}
+            self._shard_parts[key] = parts
+            todo = []
+            for index in range(count):
+                task = ShardTask(key, index, count)
+                outcome = self._shard_from_journal(task)
+                if outcome is not None:
+                    parts[index] = outcome
+                else:
+                    todo.append(task)
+            if todo:
+                items.extend(todo)
+            else:
+                self._merge_job(key, results, source="resumed")
+        return items
+
+    def _shard_from_journal(self, task: ShardTask) -> Optional[ShardOutcome]:
+        if self.journal is None:
+            return None
+        record = self.journal.lookup_shard(task)
+        if record is None:
+            return None
+        try:
+            return ShardOutcome.from_dict(record)
+        except (ReproError, KeyError, TypeError, ValueError):
+            return None  # malformed shard record: just re-run the shard
+
+    def _merge_job(
+        self,
+        key: JobKey,
+        results: Dict[JobKey, RunResult],
+        source: str = "run",
+    ) -> None:
+        """All shards of ``key`` are in: merge them into its RunResult."""
+        parts = self._shard_parts.pop(key)
+        count = self._shard_counts.pop(key)
+        outcomes = [parts[index] for index in range(count)]
+        config = scaled_system(ways=key.design.ways, scale=key.scale)
+        result = merge_outcomes(key.design, config, outcomes, epoch=key.epoch)
+        if source == "resumed":
+            results[key] = result
+            self.stats.resumed += 1
+            if self.store is not None:
+                self.store.put(key, result)
+            if self.journal is not None:
+                self.journal.record_done(key, result)
+            self._report(key, "resumed")
+        else:
+            self._record(key, result, results)
+
+    def _absorb(self, item, result, results: Dict[JobKey, RunResult]) -> None:
+        """Fold one completed work item into job-level results."""
+        if isinstance(item, ShardTask):
+            if self.journal is not None:
+                self.journal.record_shard(item, result)
+            key = item.job
+            parts = self._shard_parts[key]
+            parts[item.index] = result
+            if len(parts) == self._shard_counts[key]:
+                self._merge_job(key, results)
+        else:
+            self._record(item, result, results)
+
+    def _submit(self, pool: ProcessPoolExecutor, item, claims: str):
+        if isinstance(item, ShardTask):
+            return pool.submit(execute_shard_traced, item, claims)
+        return pool.submit(execute_job_traced, item, claims)
 
     def _run_parallel(
         self, pending: Sequence[JobKey], results: Dict[JobKey, RunResult]
     ) -> None:
-        attempts: Dict[JobKey, int] = {key: 0 for key in pending}
-        remaining: Dict[JobKey, None] = dict.fromkeys(pending)
+        items = self._flatten(pending, results)
+        if not items:
+            return
+        attempts: Dict[object, int] = {item: 0 for item in items}
+        remaining: Dict[object, None] = dict.fromkeys(items)
         claims = tempfile.mkdtemp(prefix="repro-claims-")
         consecutive_breaks = 0
         try:
@@ -264,13 +412,15 @@ class Executor:
                     return
                 self._forced_timeouts = set()
                 try:
-                    workers = min(self.jobs, len(remaining))
-                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                    workers = min(self.jobs * self.shards, len(remaining))
+                    with ProcessPoolExecutor(
+                        max_workers=workers, initializer=mark_worker_process
+                    ) as pool:
                         for key in remaining:
                             clear_claim(claims, key.digest())
                         futures = {
-                            pool.submit(execute_job_traced, key, claims): key
-                            for key in remaining
+                            self._submit(pool, item, claims): item
+                            for item in remaining
                         }
                         try:
                             self._drain(
@@ -319,7 +469,7 @@ class Executor:
                 if now >= ready_at:
                     del backoff_until[key]
                     clear_claim(claims, key.digest())
-                    future = pool.submit(execute_job_traced, key, claims)
+                    future = self._submit(pool, key, claims)
                     futures[future] = key
                     outstanding.add(future)
             if not outstanding:
@@ -355,7 +505,7 @@ class Executor:
                         time.monotonic() + self._backoff.delay(attempts[key])
                     )
                     continue
-                self._record(key, result, results)
+                self._absorb(key, result, results)
                 del remaining[key]
             if self.timeout is not None:
                 self._watchdog(futures, attempts, claims)
@@ -448,8 +598,16 @@ class Executor:
             stacklevel=3,
         )
         self._note("degraded_to_serial", remaining=len(remaining))
-        for key in list(remaining):
-            self._record(
-                key, self._execute_serial(key, attempts[key]), results
-            )
-            del remaining[key]
+        for item in list(remaining):
+            if isinstance(item, ShardTask):
+                outcome = self._execute_shard_inline(item, attempts[item])
+                self._absorb(item, outcome, results)
+            else:
+                self._record(
+                    item,
+                    self._execute_serial(
+                        item, attempts[item], allow_shards=False
+                    ),
+                    results,
+                )
+            del remaining[item]

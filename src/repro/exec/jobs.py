@@ -31,7 +31,12 @@ from repro.sim.system import RunResult
 #: change in a way that invalidates previously memoized results.
 #: v2: access-event pipeline — RunResult carries optional phase-resolved
 #: metrics and JobKey gained the ``epoch`` knob.
-RESULT_SCHEMA_VERSION = 2
+#: v3: randomized policies draw from per-set counter-based streams
+#: (:class:`repro.utils.rng.SetLocalRng`) instead of one sequential
+#: stream, so every random-policy result changed. The sharding knob
+#: itself is deliberately *not* part of the key: sharded execution is
+#: bit-identical to serial, so both populate the same store slot.
+RESULT_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -116,6 +121,107 @@ def _trace_factory(key: JobKey) -> TraceFactory:
     return factory
 
 
+@dataclass(frozen=True)
+class ShardTask:
+    """One set-range shard of a :class:`JobKey`'s simulation.
+
+    The parallel executor flattens shardable jobs into these so one
+    job's shards spread over the worker pool; shard outcomes are merged
+    back into the job's :class:`RunResult` by
+    :func:`repro.sim.shard.merge_outcomes`. Mirrors JobKey's
+    ``digest()``/``display`` surface so claims, retries, the watchdog
+    and the journal handle both item kinds uniformly.
+    """
+
+    job: JobKey
+    index: int
+    count: int
+
+    def __post_init__(self):
+        if self.count < 2:
+            raise ConfigError(f"shard count must be >= 2, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ConfigError(
+                f"shard index {self.index} out of range for {self.count} shards"
+            )
+
+    def digest(self) -> str:
+        return f"{self.job.digest()}-s{self.index}of{self.count}"
+
+    @property
+    def display(self) -> str:
+        return f"{self.job.display} [shard {self.index + 1}/{self.count}]"
+
+
+def plan_shards(key: JobKey, shards: int) -> int:
+    """Effective shard count for a job: 1 means run it whole.
+
+    Builds the (scaled) cache once per distinct (design, scale) to
+    consult the declared ``shardable`` capabilities; a design with
+    global policy state gets 1 (after a one-time fallback warning —
+    never sharded silently wrong), and a shardable one gets at most one
+    shard per cache set. Memoized: a 16-design sweep probes each design
+    once, not once per workload.
+    """
+    if shards <= 1:
+        return 1
+    from repro.core.protocols import cache_is_shardable
+    from repro.sim.shard import effective_shard_count, warn_serial_fallback
+    from repro.sim.system import build_dram_cache
+
+    cache_key = (repr(key.design), key.scale)
+    plan = _SHARD_PLAN_CACHE.get(cache_key)
+    if plan is None:
+        config = scaled_system(ways=key.design.ways, scale=key.scale)
+        cache = build_dram_cache(key.design, config, seed=key.seed)
+        shardable = cache_is_shardable(cache)
+        if not shardable:
+            warn_serial_fallback(key.design, cache)
+        plan = (shardable, cache.geometry.num_sets)
+        _SHARD_PLAN_CACHE[cache_key] = plan
+    shardable, num_sets = plan
+    if not shardable:
+        return 1
+    return effective_shard_count(shards, num_sets)
+
+
+_SHARD_PLAN_CACHE: Dict[Tuple[str, float], Tuple[bool, int]] = {}
+
+
+def execute_shard(task: ShardTask):
+    """Run one shard of a job (worker entry point; picklable).
+
+    Rebuilds the trace through the per-process factory memo (shared
+    disk trace cache underneath), slices out this shard's records, and
+    returns the picklable :class:`~repro.sim.shard.ShardOutcome`.
+    """
+    from repro.sim.shard import run_shard
+
+    key = task.job
+    fault_point(SITE_JOB, token=task.digest())
+    config = scaled_system(ways=key.design.ways, scale=key.scale)
+    trace = _trace_factory(key).trace_for(key.workload)
+    return run_shard(
+        config,
+        key.design,
+        trace,
+        task.index,
+        task.count,
+        warmup=key.warmup,
+        epoch=key.epoch,
+        seed=key.seed,
+    )
+
+
+def execute_shard_traced(task: ShardTask, claims_dir: str):
+    """Shard worker entry with claim markers (see execute_job_traced)."""
+    digest = task.digest()
+    write_claim(claims_dir, digest)
+    result = execute_shard(task)
+    complete_claim(claims_dir, digest)
+    return result
+
+
 def execute_job(key: JobKey) -> RunResult:
     """Run the simulation a key names (worker entry point; picklable)."""
     fault_point(SITE_JOB, token=key.digest())
@@ -129,6 +235,32 @@ def execute_job(key: JobKey) -> RunResult:
         warmup=key.warmup,
         seed=key.seed,
         epoch=key.epoch,
+    )
+
+
+def execute_job_sharded(key: JobKey, shards: int) -> RunResult:
+    """Run one job split over an intra-run shard pool.
+
+    Entry point for the ``jobs=1, shards>1`` configuration: the single
+    simulation itself fans out over ``shards`` worker processes
+    (:func:`repro.sim.shard.run_sharded`). Falls back to the exact
+    serial path for non-shardable designs and never nests pools (the
+    worker-process guard runs shards inline there). Bit-identical to
+    :func:`execute_job`.
+    """
+    from repro.sim.shard import run_sharded
+
+    fault_point(SITE_JOB, token=key.digest())
+    config = scaled_system(ways=key.design.ways, scale=key.scale)
+    trace = _trace_factory(key).trace_for(key.workload)
+    return run_sharded(
+        config,
+        key.design,
+        trace,
+        warmup=key.warmup,
+        epoch=key.epoch,
+        shards=shards,
+        seed=key.seed,
     )
 
 

@@ -224,12 +224,19 @@ class SweepJournal:
     lose at most the line being written — and :meth:`load` tolerates a
     torn tail line). Because results ride in the journal itself, a
     resumed sweep replays them without depending on the result store.
+
+    Shard-parallel sweeps additionally append a ``shard`` line per
+    completed shard (``key`` is the shard task's digest, ``result`` its
+    serialized outcome), so ``--resume`` restarts a half-finished job
+    from its surviving shards rather than from scratch. Shard lines are
+    additive — journals without them load exactly as before.
     """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         self.header: Optional[Dict[str, Any]] = None
         self._done: Dict[str, Dict[str, Any]] = {}
+        self._shards: Dict[str, Dict[str, Any]] = {}
         self._write_failed = False
 
     @staticmethod
@@ -266,6 +273,7 @@ class SweepJournal:
             ) from exc
         self.header = header
         self._done = {}
+        self._shards = {}
 
     def load(self) -> int:
         """Parse the journal; returns the number of completed jobs.
@@ -307,13 +315,17 @@ class SweepJournal:
             )
         self.header = records[0]
         self._done = {}
+        self._shards = {}
         for record in records[1:]:
-            if (
-                record.get("event") == "done"
-                and isinstance(record.get("key"), str)
+            if not (
+                isinstance(record.get("key"), str)
                 and isinstance(record.get("result"), dict)
             ):
+                continue
+            if record.get("event") == "done":
                 self._done[record["key"]] = record["result"]
+            elif record.get("event") == "shard":
+                self._shards[record["key"]] = record["result"]
         return len(self._done)
 
     def lookup(self, key: Any) -> Optional[Dict[str, Any]]:
@@ -328,6 +340,25 @@ class SweepJournal:
             "event": "done",
             "key": key.digest(),
             "display": key.display,
+            "result": payload,
+        })
+
+    def lookup_shard(self, task: Any) -> Optional[Dict[str, Any]]:
+        """The journaled outcome dict for one shard task, or None."""
+        return self._shards.get(task.digest())
+
+    def record_shard(self, task: Any, outcome: Any) -> None:
+        """Append one completed shard (``outcome`` must have ``to_dict``).
+
+        Lets a resumed sweep skip re-running shards that finished
+        before the crash even when their job never merged.
+        """
+        payload = outcome.to_dict()
+        self._shards[task.digest()] = payload
+        self._append({
+            "event": "shard",
+            "key": task.digest(),
+            "display": task.display,
             "result": payload,
         })
 

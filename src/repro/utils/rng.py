@@ -77,6 +77,71 @@ class XorShift64:
         self._state = (state & _MASK64) or 0x9E3779B97F4A7C15
 
 
+class SetLocalRng:
+    """Deterministic per-set random streams.
+
+    Policies that draw randomness per cache set (random victim picks,
+    the PWS install coin) must produce the same values for set *s*
+    regardless of how accesses to *other* sets interleave with it —
+    otherwise splitting a run into set shards changes the outcome. A
+    single sequential :class:`XorShift64` stream breaks that: every
+    draw advances one global state, so removing another set's accesses
+    shifts every subsequent value.
+
+    Here each set gets its own splitmix64 stream: the per-set seed is
+    ``mix64(base ^ s * K)`` and the *n*-th draw is ``mix64(seed + n)``
+    — a pure function of ``(base_seed, s, n)``, counter-based and
+    interleaving-invariant. The only mutable state is a per-set
+    ``[seed, counter]`` pair.
+    """
+
+    __slots__ = ("_base", "_streams")
+
+    _STREAM_MULT = 0xBF58476D1CE4E5B9
+
+    def __init__(self, seed: int = 1):
+        self._base = mix64((seed & _MASK64) or 0x9E3779B97F4A7C15)
+        self._streams: dict = {}
+
+    @classmethod
+    def from_stream(cls, rng: "XorShift64") -> "SetLocalRng":
+        """Derive a set-local generator seeded from a sequential one.
+
+        Keeps policy constructors backwards compatible: callers keep
+        passing an :class:`XorShift64` and the set-local base seed is
+        read from its state without consuming any draws.
+        """
+        return cls(rng.getstate())
+
+    def next_u64(self, set_index: int) -> int:
+        """Return the next 64-bit value of ``set_index``'s stream."""
+        stream = self._streams.get(set_index)
+        if stream is None:
+            stream = [
+                mix64(self._base ^ (set_index * self._STREAM_MULT & _MASK64)), 0
+            ]
+            self._streams[set_index] = stream
+        count = stream[1]
+        stream[1] = count + 1
+        return mix64(stream[0] + count)
+
+    def next_float(self, set_index: int) -> float:
+        """Return the stream's next float uniform in [0, 1)."""
+        return self.next_u64(set_index) / float(1 << 64)
+
+    def next_below(self, set_index: int, bound: int) -> int:
+        """Return the stream's next integer uniform in [0, bound)."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u64(set_index) % bound
+
+    def next_bool(self, set_index: int, probability: float) -> bool:
+        """Return True with the given probability for this stream."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        return self.next_float(set_index) < probability
+
+
 def mix64(value: int) -> int:
     """A stateless 64-bit finalizer (splitmix64) for hashing integers.
 

@@ -70,20 +70,20 @@ class TestSteerAmong:
         pref = preferred_way(tag, 2)
         other = 1 - pref
         for _ in range(100):
-            assert pws.steer_among((pref, other), tag) in (pref, other)
+            assert pws.steer_among(0, (pref, other), tag) in (pref, other)
 
     def test_single_candidate(self, geom):
         pws = ProbabilisticWaySteering(geom, pip=0.5, rng=XorShift64(2))
         tag = 4
         pref = preferred_way(tag, 2)
-        assert pws.steer_among((pref,), tag) == pref
+        assert pws.steer_among(0, (pref,), tag) == pref
 
     def test_preferred_must_be_candidate(self, geom):
         pws = ProbabilisticWaySteering(geom, pip=0.85, rng=XorShift64(2))
         tag = 4
         non_pref = 1 - preferred_way(tag, 2)
         with pytest.raises(PolicyError):
-            pws.steer_among((non_pref,), tag)
+            pws.steer_among(0, (non_pref,), tag)
 
     def test_all_ways_candidates(self, geom):
         pws = ProbabilisticWaySteering(geom, pip=0.85)
