@@ -9,6 +9,8 @@ Usage::
     python -m repro profile soplex        # workload trace characteristics
     python -m repro bench --quick         # hot-loop throughput (acc/s)
     python -m repro info                  # system configuration summary
+    python -m repro serve -j 4            # long-lived sweep service (HTTP)
+    python -m repro submit --designs direct,accord:2 --quick   # client
 
 ``run`` and ``sweep`` share the executor flags: ``--jobs/-j`` fans
 simulations out over worker processes, and results are memoized in a
@@ -107,6 +109,61 @@ def _progress(done: int, total: int, key, source: str) -> None:
     print(f"[{done}/{total}] {key.display} ({source})", file=sys.stderr)
 
 
+def _print_sweep_tables(per_design, labels, num_workloads, phase_csv=None):
+    """Render sweep tables; returns the CSV columns (None on failure).
+
+    Shared by the CLI ``sweep`` and the service client ``submit`` so
+    both paths produce byte-identical tables and CSV exports from the
+    same per-design result grids.
+    """
+    from repro.analysis.report import per_workload_table
+    from repro.sim.runner import mean_hit_rate
+
+    hit_columns = {
+        label: {w: r.hit_rate for w, r in results.items()}
+        for label, results in per_design.items()
+    }
+    print(per_workload_table(
+        hit_columns,
+        title=f"Sweep: hit rate, {len(labels)} designs x "
+              f"{num_workloads} workloads",
+        gmean_row=False,
+    ))
+    print("Mean hit rate: " + " | ".join(
+        f"{label}={mean_hit_rate(results):.3f}"
+        for label, results in per_design.items()
+    ))
+
+    if phase_csv:
+        from repro.analysis.export import save_phases_csv
+        from repro.errors import SimulationError
+
+        try:
+            save_phases_csv(per_design, phase_csv)
+        except SimulationError as exc:
+            print(f"phase CSV not written: {exc}", file=sys.stderr)
+            return None
+        print(f"wrote {phase_csv}")
+
+    csv_columns = hit_columns
+    if len(labels) > 1:
+        base_label = labels[0]
+        speedup_columns = {
+            label: {
+                w: r.speedup_over(per_design[base_label][w])
+                for w, r in results.items()
+            }
+            for label, results in per_design.items()
+            if label != base_label
+        }
+        print()
+        print(per_workload_table(
+            speedup_columns, title=f"Sweep: speedup over {base_label}"
+        ))
+        csv_columns = speedup_columns
+    return csv_columns
+
+
 def _cmd_profile(args: argparse.Namespace,
                  parser: argparse.ArgumentParser) -> int:
     from repro.errors import ReproError
@@ -153,7 +210,6 @@ def _cmd_sweep(args: argparse.Namespace,
     from pathlib import Path
 
     from repro.analysis.export import save_series_csv
-    from repro.analysis.report import per_workload_table
     from repro.errors import ConfigError, JournalError, ReproError
     from repro.exec import (
         FAULT_PLAN_ENV,
@@ -164,7 +220,6 @@ def _cmd_sweep(args: argparse.Namespace,
     )
     from repro.exec.faults import active_plan
     from repro.experiments.common import settings_from_args
-    from repro.sim.runner import mean_hit_rate
 
     settings = settings_from_args(args, parser)
     if args.phase_csv and settings.epoch is None:
@@ -255,48 +310,11 @@ def _cmd_sweep(args: argparse.Namespace,
         for label, per_label in keys.items()
     }
 
-    hit_columns = {
-        label: {w: r.hit_rate for w, r in results.items()}
-        for label, results in per_design.items()
-    }
-    print(per_workload_table(
-        hit_columns,
-        title=f"Sweep: hit rate, {len(designs)} designs x "
-              f"{len(settings.suite)} workloads",
-        gmean_row=False,
-    ))
-    print("Mean hit rate: " + " | ".join(
-        f"{label}={mean_hit_rate(results):.3f}"
-        for label, results in per_design.items()
-    ))
-
-    if args.phase_csv:
-        from repro.analysis.export import save_phases_csv
-        from repro.errors import SimulationError
-
-        try:
-            save_phases_csv(per_design, args.phase_csv)
-        except SimulationError as exc:
-            print(f"phase CSV not written: {exc}", file=sys.stderr)
-            return 1
-        print(f"wrote {args.phase_csv}")
-
-    csv_columns = hit_columns
-    if len(designs) > 1:
-        base_label = labels[0]
-        speedup_columns = {
-            label: {
-                w: r.speedup_over(per_design[base_label][w])
-                for w, r in results.items()
-            }
-            for label, results in per_design.items()
-            if label != base_label
-        }
-        print()
-        print(per_workload_table(
-            speedup_columns, title=f"Sweep: speedup over {base_label}"
-        ))
-        csv_columns = speedup_columns
+    csv_columns = _print_sweep_tables(
+        per_design, labels, len(settings.suite), phase_csv=args.phase_csv
+    )
+    if csv_columns is None:
+        return 1
     stats = executor.stats
     line = f"\n{stats.executed} simulated, {stats.cached} from cache"
     if stats.resumed:
@@ -411,6 +429,141 @@ def _cmd_bench(args: argparse.Namespace,
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    import asyncio
+
+    from repro.errors import ConfigError, ReproError
+    from repro.service.server import ServiceConfig, run_service
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            shards=args.shards,
+            retries=args.retries,
+            timeout=args.timeout,
+            results_dir=args.results_dir,
+            use_store=not args.no_store,
+            max_pending=args.max_queue,
+            rate=args.rate,
+            burst=args.burst,
+            resume=not args.no_resume,
+        )
+        asyncio.run(run_service(config))
+    except ConfigError as exc:
+        parser.error(str(exc))
+    except KeyboardInterrupt:
+        pass
+    except (ReproError, OSError) as exc:
+        print(f"service failed: {exc}", file=sys.stderr)
+        return EXIT_EXECUTION
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace,
+                parser: argparse.ArgumentParser) -> int:
+    from repro.analysis.export import save_series_csv
+    from repro.errors import ConfigError, ExecutionError
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.jobspec import expand_spec
+    from repro.sim.system import RunResult
+
+    if args.phase_csv and args.epoch_metrics is None:
+        parser.error("--phase-csv requires --epoch-metrics")
+    spec = {"kind": "sweep", "designs": args.designs}
+    if args.workloads is not None:
+        spec["workloads"] = args.workloads
+    if args.accesses is not None:
+        spec["accesses"] = args.accesses
+    if args.seed is not None:
+        spec["seed"] = args.seed
+    if args.scale is not None:
+        spec["scale"] = args.scale
+    if args.epoch_metrics is not None:
+        spec["epoch"] = args.epoch_metrics
+    if args.quick:
+        spec["quick"] = True
+    try:
+        # Expand locally with the same code the server runs, so streamed
+        # result digests map straight back onto (design, workload) cells.
+        keys, labels, workloads = expand_spec(spec)
+    except ConfigError as exc:
+        parser.error(str(exc))
+
+    key_cell = {}
+    it = iter(keys)
+    for label in labels:
+        for workload in workloads:
+            key_cell[next(it).digest()] = (label, workload)
+
+    def on_event(event):
+        if not args.progress:
+            return
+        kind = event.get("event")
+        if kind == "progress":
+            print(f"[{event['batch_done']}/{event['batch_total']}] "
+                  f"{event['display']} ({event['source']})", file=sys.stderr)
+        elif kind == "scheduled":
+            state = ("deduplicated" if event.get("deduplicated")
+                     else event.get("state"))
+            print(f"scheduled {event['display']} ({state})", file=sys.stderr)
+        elif kind == "error":
+            error = event.get("error", {})
+            print(f"job failed: {event.get('display')}: "
+                  f"{error.get('message')}", file=sys.stderr)
+
+    client = ServiceClient(
+        host=args.host, port=args.port, timeout=args.timeout
+    )
+    try:
+        results = client.submit(spec, on_event=on_event)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        if exc.retry_after is not None:
+            print(f"retry after ~{exc.retry_after:.0f}s", file=sys.stderr)
+        return exc.exit_code
+    except ExecutionError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return EXIT_EXECUTION
+
+    per_design = {label: {} for label in labels}
+    missing = []
+    for digest, (label, workload) in key_cell.items():
+        event = results.get(digest)
+        if event is None:
+            missing.append(f"{label}/{workload}")
+            continue
+        per_design[label][workload] = RunResult.from_dict(event["result"])
+    if missing:
+        print(f"service did not return: {', '.join(missing)}",
+              file=sys.stderr)
+        return EXIT_EXECUTION
+
+    csv_columns = _print_sweep_tables(
+        per_design, labels, len(workloads), phase_csv=args.phase_csv
+    )
+    if csv_columns is None:
+        return 1
+    cached = sum(
+        1 for event in results.values() if event.get("source") == "cached"
+    )
+    print(f"\n{len(results) - cached} computed by service, "
+          f"{cached} answered from warm store")
+    if args.csv:
+        save_series_csv(csv_columns, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _add_endpoint_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--host", default="127.0.0.1",
+                   help="service address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="service port (default 8765)")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.experiments.common import add_settings_arguments
 
@@ -512,6 +665,73 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="assert per-design hit rates are exactly "
                                    "identical to a reference report; exit 1 "
                                    "on any difference (CI determinism gate)")
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the long-lived sweep service (HTTP, see docs/service.md)",
+    )
+    _add_endpoint_arguments(serve_parser)
+    serve_parser.add_argument("--jobs", "-j", type=int, default=1,
+                              help="parallel worker processes (default 1)")
+    serve_parser.add_argument("--shards", type=int, default=1,
+                              help="set-range shards per simulation "
+                                   "(default 1)")
+    serve_parser.add_argument("--retries", type=int, default=1,
+                              help="attempts per failing job (default 1)")
+    serve_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-job watchdog timeout in seconds")
+    serve_parser.add_argument("--results-dir", default=None,
+                              dest="results_dir",
+                              help="result store root (default "
+                                   "$REPRO_RESULTS_DIR or ~/.cache/repro)")
+    serve_parser.add_argument("--no-store", action="store_true",
+                              dest="no_store",
+                              help="disable the result store (and with it "
+                                   "warm answers and restart resume)")
+    serve_parser.add_argument("--max-queue", type=int, default=256,
+                              dest="max_queue",
+                              help="admission queue bound; overflow sheds "
+                                   "with 503 (default 256)")
+    serve_parser.add_argument("--rate", type=float, default=5.0,
+                              help="per-client submissions/sec before 429 "
+                                   "(default 5)")
+    serve_parser.add_argument("--burst", type=float, default=10.0,
+                              help="per-client burst capacity (default 10)")
+    serve_parser.add_argument("--no-resume", action="store_true",
+                              dest="no_resume",
+                              help="do not resume journaled in-flight "
+                                   "batches from a previous daemon")
+    submit_parser = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running service and render the tables",
+    )
+    _add_endpoint_arguments(submit_parser)
+    submit_parser.add_argument(
+        "--designs", required=True,
+        help="comma-separated design specs, same grammar as 'sweep'",
+    )
+    submit_parser.add_argument("--workloads", default=None,
+                               help="comma-separated workloads "
+                                    "(default: the full suite)")
+    submit_parser.add_argument("--accesses", type=int, default=None,
+                               help="trace length per job")
+    submit_parser.add_argument("--seed", type=int, default=None)
+    submit_parser.add_argument("--scale", type=float, default=None,
+                               help="system scale factor in (0, 1]")
+    submit_parser.add_argument("--quick", action="store_true",
+                               help="small suite and short traces")
+    submit_parser.add_argument("--epoch-metrics", type=int, default=None,
+                               dest="epoch_metrics", metavar="N",
+                               help="per-epoch phase metrics every N reads")
+    submit_parser.add_argument("--csv", default=None,
+                               help="also write the sweep table as tidy CSV")
+    submit_parser.add_argument("--phase-csv", default=None, dest="phase_csv",
+                               help="write per-epoch phase metrics as tidy "
+                                    "CSV (requires --epoch-metrics)")
+    submit_parser.add_argument("--progress", action="store_true",
+                               help="print streamed job progress to stderr")
+    submit_parser.add_argument("--timeout", type=float, default=600.0,
+                               help="client-side HTTP timeout in seconds "
+                                    "(default 600)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -524,6 +744,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args, parser)
     if args.command == "bench":
         return _cmd_bench(args, parser)
+    if args.command == "serve":
+        return _cmd_serve(args, parser)
+    if args.command == "submit":
+        return _cmd_submit(args, parser)
     passthrough: List[str] = []
     if args.accesses is not None:
         passthrough += ["--accesses", str(args.accesses)]

@@ -44,6 +44,7 @@ import os
 import shutil
 import signal
 import tempfile
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, wait
@@ -174,9 +175,69 @@ class Executor:
         self._poll = poll_interval
         self.stats = ExecutorStats()
         self._forced_timeouts: Set[JobKey] = set()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._persistent = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle (long-lived owners: the sweep service) ------------------
+
+    def start(self) -> "Executor":
+        """Adopt long-lived ownership: keep the pool across ``run`` calls.
+
+        Idempotent — calling it again is a no-op. The worker pool itself
+        is created lazily on the first parallel batch and then reused,
+        instead of being torn down at the end of every :meth:`run`.
+        Batch (one-shot) callers never need this; without it the
+        executor behaves exactly as before.
+        """
+        self._persistent = True
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the worker pool (idempotent; waits out a running batch).
+
+        The executor stays usable: a later :meth:`run` simply rebuilds
+        the pool (still persistent if :meth:`start` was called). Safe to
+        call repeatedly and from a thread other than the one running
+        batches — it serializes against :meth:`run`.
+        """
+        with self._lock:
+            self._discard_pool(wait=wait)
+
+    def __enter__(self) -> "Executor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _acquire_pool(self, items: int) -> ProcessPoolExecutor:
+        """The persistent pool if one is alive, else a fresh pool."""
+        if self._pool is not None:
+            return self._pool
+        workers = self.jobs * self.shards
+        if not self._persistent:
+            workers = min(workers, items)
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=mark_worker_process
+        )
+        return self._pool
+
+    def _discard_pool(self, wait: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
 
     def run(self, keys: Sequence[JobKey]) -> Dict[JobKey, RunResult]:
-        """Resolve every key to a result; ``stats`` reflects this call."""
+        """Resolve every key to a result; ``stats`` reflects this call.
+
+        Reentrant-safe for long-lived owners: concurrent calls from
+        other threads serialize on an internal lock rather than
+        corrupting shared batch state.
+        """
+        with self._lock:
+            return self._run_locked(keys)
+
+    def _run_locked(self, keys: Sequence[JobKey]) -> Dict[JobKey, RunResult]:
         self.stats = ExecutorStats()
         unique: List[JobKey] = []
         seen = set()
@@ -194,6 +255,12 @@ class Executor:
             if resumed is not None:
                 results[key] = resumed
                 self.stats.resumed += 1
+                if self.store is not None:
+                    # Replayed results are as good as executed ones:
+                    # memoize them so later runs are warm without the
+                    # journal (the service's restart-resume relies on
+                    # this — batch journals are deleted once drained).
+                    self.store.put(key, resumed)
                 self._report(key, "resumed")
                 continue
             cached = self.store.get(key) if self.store is not None else None
@@ -412,29 +479,27 @@ class Executor:
                     return
                 self._forced_timeouts = set()
                 try:
-                    workers = min(self.jobs * self.shards, len(remaining))
-                    with ProcessPoolExecutor(
-                        max_workers=workers, initializer=mark_worker_process
-                    ) as pool:
-                        for key in remaining:
-                            clear_claim(claims, key.digest())
-                        futures = {
-                            self._submit(pool, item, claims): item
-                            for item in remaining
-                        }
-                        try:
-                            self._drain(
-                                pool, futures, remaining, results, attempts,
-                                claims,
-                            )
-                        except BrokenProcessPool:
-                            # Inspect pids *before* pool shutdown finishes
-                            # reaping, so live workers are still visible.
-                            raise _PoolBroken(
-                                self._suspects(claims, remaining)
-                            ) from None
+                    pool = self._acquire_pool(len(remaining))
+                    for key in remaining:
+                        clear_claim(claims, key.digest())
+                    futures = {
+                        self._submit(pool, item, claims): item
+                        for item in remaining
+                    }
+                    try:
+                        self._drain(
+                            pool, futures, remaining, results, attempts,
+                            claims,
+                        )
+                    except BrokenProcessPool:
+                        # Inspect pids *before* pool shutdown finishes
+                        # reaping, so live workers are still visible.
+                        raise _PoolBroken(
+                            self._suspects(claims, remaining)
+                        ) from None
                     consecutive_breaks = 0
                 except _PoolBroken as broken:
+                    self._discard_pool()
                     consecutive_breaks += 1
                     self.stats.pool_breaks += 1
                     self._penalize(broken.suspects, attempts)
@@ -445,6 +510,8 @@ class Executor:
                     self._backoff.sleep(consecutive_breaks)
         finally:
             shutil.rmtree(claims, ignore_errors=True)
+            if not self._persistent:
+                self._discard_pool(wait=True)
 
     def _drain(
         self,

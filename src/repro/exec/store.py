@@ -77,6 +77,16 @@ class ResultStore:
             self._quarantine(path, f"unreadable result entry: {exc}")
             return None
         try:
+            stored_schema = record.get("schema") if isinstance(record, dict) \
+                else None
+            if stored_schema != RESULT_SCHEMA_VERSION:
+                # A stale entry (e.g. a v2 record surviving at a current
+                # path) is a miss, never an error: quarantine it and let
+                # the job re-run under the current semantics.
+                raise ValueError(
+                    f"stale result schema {stored_schema!r} "
+                    f"(current is {RESULT_SCHEMA_VERSION})"
+                )
             if record["key"] != key.canonical():
                 raise ValueError("stored key does not match lookup key")
             return RunResult.from_dict(record["result"])

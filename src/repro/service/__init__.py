@@ -1,0 +1,43 @@
+"""Long-lived sweep service: simulations over HTTP.
+
+The service turns the batch execution stack (:mod:`repro.exec`) into
+infrastructure that outlives one CLI invocation:
+
+* :mod:`repro.service.protocol` — a minimal, dependency-free HTTP/1.1
+  reader/writer over asyncio streams (the service hand-rolls its
+  transport; nothing new to install).
+* :mod:`repro.service.jobspec` — JSON job specs that expand to the
+  exact :class:`~repro.exec.JobKey` grid the CLI would build, so a
+  served sweep is bit-identical to ``python -m repro sweep``.
+* :mod:`repro.service.ratelimit` — per-client token buckets.
+* :mod:`repro.service.scheduler` — the bridge onto the long-lived
+  :class:`~repro.exec.Executor`: in-flight deduplication (one
+  computation, N subscribers), warm answers straight from the
+  :class:`~repro.exec.ResultStore`, a bounded admission queue with
+  load shedding, and journal-backed resume of in-flight sweeps after
+  a daemon crash.
+* :mod:`repro.service.server` — the asyncio front-end
+  (``python -m repro serve``): job submission with NDJSON/SSE result
+  streaming, ``/healthz`` and ``/metrics``.
+* :mod:`repro.service.client` — the blocking client used by
+  ``python -m repro submit`` (stdlib ``http.client`` only).
+"""
+
+from repro.service.jobspec import expand_spec, key_from_canonical
+from repro.service.ratelimit import RateLimiter, TokenBucket
+from repro.service.scheduler import JobManager, Overloaded
+from repro.service.server import ServiceConfig, SweepService
+from repro.service.client import ServiceClient, ServiceError
+
+__all__ = [
+    "JobManager",
+    "Overloaded",
+    "RateLimiter",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SweepService",
+    "TokenBucket",
+    "expand_spec",
+    "key_from_canonical",
+]

@@ -1,0 +1,202 @@
+"""Blocking client for the sweep service: ``python -m repro submit``.
+
+Stdlib-only (``http.client``). The client expands the job spec with
+the *same* :func:`~repro.service.jobspec.expand_spec` the server uses,
+so it knows each key's digest up front and can map streamed ``result``
+events back onto (design label, workload) cells without any extra
+round-trip — which is also what makes the submitted sweep bit-identical
+to the CLI path: same keys, same store slots, same result payloads.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.errors import ExecutionError, ReproError
+from repro.service.server import DEFAULT_PORT
+
+#: Called with each streamed event dict as it arrives.
+EventFn = Callable[[Dict[str, Any]], None]
+
+
+class ServiceError(ReproError):
+    """The service answered with an error payload (or malformed HTTP).
+
+    ``status`` is the HTTP status (0 when the failure was transport
+    level), ``payload`` the decoded error body when there was one, and
+    ``retry_after`` the service's backoff hint in seconds, if any.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        payload: Optional[Dict[str, Any]] = None,
+        retry_after: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+        self.retry_after = retry_after
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit code this error maps to (2 config, 3 execution)."""
+        error = self.payload.get("error", {})
+        code = error.get("exit_code")
+        if isinstance(code, int):
+            return code
+        return 2 if self.status == 400 else 3
+
+
+class ServiceClient:
+    """Talks to one daemon; one HTTP connection per call."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: float = 300.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _get_json(self, path: str) -> Dict[str, Any]:
+        conn = self._connect()
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            body = response.read()
+            payload = json.loads(body.decode("utf-8"))
+            if response.status != 200:
+                raise ServiceError(
+                    f"GET {path} failed with {response.status}",
+                    status=response.status, payload=payload,
+                )
+            return payload
+        except (OSError, ValueError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def health(self) -> Dict[str, Any]:
+        return self._get_json("/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._get_json("/metrics")
+
+    def stream_job(self, spec: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Submit a spec; yield each streamed event dict until ``done``.
+
+        Raises :class:`ServiceError` on 4xx/5xx (429/503 carry the
+        service's ``Retry-After`` hint) and on transport failures; a
+        stream that ends without a ``done`` event raises too, so a
+        caller can never mistake a truncated stream for success.
+        """
+        body = json.dumps(spec).encode("utf-8")
+        conn = self._connect()
+        try:
+            try:
+                conn.request(
+                    "POST", "/v1/jobs", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+            except OSError as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.host}:{self.port}: {exc}"
+                ) from exc
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    payload = {}
+                retry_after = None
+                header = response.getheader("Retry-After")
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        pass
+                message = (
+                    payload.get("error", {}).get("message")
+                    or f"service answered {response.status}"
+                )
+                raise ServiceError(
+                    message, status=response.status, payload=payload,
+                    retry_after=retry_after,
+                )
+            saw_done = False
+            while True:
+                try:
+                    line = response.readline()
+                except OSError as exc:
+                    raise ServiceError(
+                        f"stream broke mid-response: {exc}"
+                    ) from exc
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith(b"data:"):  # SSE framing
+                    line = line[len(b"data:"):].strip()
+                try:
+                    event = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError) as exc:
+                    raise ServiceError(
+                        f"malformed event line from service: {exc}"
+                    ) from exc
+                yield event
+                if event.get("event") == "done":
+                    saw_done = True
+                    break
+            if not saw_done:
+                raise ServiceError(
+                    "stream ended before the service's 'done' event"
+                )
+        finally:
+            conn.close()
+
+    def submit(
+        self,
+        spec: Dict[str, Any],
+        on_event: Optional[EventFn] = None,
+    ) -> Dict[str, Dict[str, Any]]:
+        """Submit and collect: digest → ``result`` event for every key.
+
+        ``on_event`` (if given) observes every streamed event —
+        progress lines, per-epoch phases — while results accumulate.
+        An ``error`` event raises :class:`ExecutionError` after the
+        stream drains, carrying the service's message.
+        """
+        results: Dict[str, Dict[str, Any]] = {}
+        errors = []
+        for event in self.stream_job(spec):
+            if on_event is not None:
+                on_event(event)
+            if event.get("event") == "result":
+                results[event["key"]] = event
+            elif event.get("event") == "error":
+                errors.append(event)
+        if errors:
+            first = errors[0].get("error", {})
+            raise ExecutionError(
+                f"{len(errors)} job(s) failed on the service: "
+                f"{first.get('message', 'unknown error')}"
+            )
+        return results
+
+
+__all__ = ["EventFn", "ServiceClient", "ServiceError"]

@@ -1,0 +1,91 @@
+"""Per-client token-bucket rate limiting for the sweep service.
+
+A classic token bucket: ``burst`` tokens of capacity refilled at
+``rate`` tokens per second. Each submission costs one token; when the
+bucket is empty the limiter reports how long until the next token, and
+the server turns that into ``429 Too Many Requests`` +
+``Retry-After``. Buckets are tracked per client key (the peer address)
+with a bounded LRU so a scan of spoofed sources cannot grow memory
+without limit.
+
+The clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Tuple
+
+from repro.errors import ConfigError
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity, ``rate`` tokens/sec."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ConfigError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ConfigError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; 0.0 on success, else seconds to wait."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        return (cost - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Token buckets keyed by client, with a bounded LRU of buckets."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_clients < 1:
+            raise ConfigError(
+                f"max_clients must be >= 1, got {max_clients}"
+            )
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+
+    def check(self, client: str) -> Tuple[bool, float]:
+        """(allowed, retry_after_seconds) for one submission."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= self.max_clients:
+                self._buckets.popitem(last=False)
+            bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+            self._buckets[client] = bucket
+        else:
+            self._buckets.move_to_end(client)
+        wait = bucket.try_acquire()
+        return wait == 0.0, wait
+
+
+__all__ = ["RateLimiter", "TokenBucket"]

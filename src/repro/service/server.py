@@ -1,0 +1,288 @@
+"""The asyncio HTTP front-end: ``python -m repro serve``.
+
+Routes:
+
+* ``POST /v1/jobs`` — submit a job spec (:mod:`repro.service.jobspec`);
+  the response is a close-delimited NDJSON event stream (or SSE with
+  ``Accept: text/event-stream``): ``accepted``, ``scheduled``,
+  ``progress``, ``phase`` (per-epoch :class:`PhaseSample` when the
+  spec sets ``epoch``), ``result`` (with an ETag-style validator), and
+  ``error`` events, ending with one ``done`` summary line.
+* ``GET /healthz`` — liveness + schema version.
+* ``GET /metrics`` — queue depth, in-flight jobs, store hit ratio,
+  shed counts, cumulative executor stats.
+
+Overload degrades gracefully instead of falling over: per-client
+token buckets answer ``429 Too Many Requests`` and a full admission
+queue answers ``503 Service Unavailable``, both with ``Retry-After``.
+Error payloads mirror the CLI exit-code contract (config = 2,
+execution = 3; see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.exec.executor import Executor
+from repro.exec.jobs import RESULT_SCHEMA_VERSION
+from repro.exec.store import ResultStore
+from repro.service import protocol
+from repro.service.jobspec import expand_spec
+from repro.service.ratelimit import RateLimiter
+from repro.service.scheduler import JobManager, Overloaded
+
+#: The service's default port: "ACRD" on a phone keypad would be nice,
+#: but 8765 is memorable and unprivileged.
+DEFAULT_PORT = 8765
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    jobs: int = 1
+    shards: int = 1
+    retries: int = 1
+    timeout: Optional[float] = None
+    results_dir: Optional[str] = None
+    use_store: bool = True
+    max_pending: int = 256
+    rate: float = 5.0  # submissions per second per client
+    burst: float = 10.0
+    max_body: int = protocol.MAX_BODY_BYTES
+    resume: bool = True
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"port must be in [0, 65535], got {self.port}")
+        if self.max_body < 1024:
+            raise ConfigError(
+                f"max_body must be >= 1024, got {self.max_body}"
+            )
+
+
+class SweepService:
+    """A long-lived daemon serving simulations over HTTP."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        store = (
+            ResultStore(config.results_dir) if config.use_store else None
+        )
+        executor = Executor(
+            jobs=config.jobs,
+            store=store,
+            retries=config.retries,
+            timeout=config.timeout,
+            shards=config.shards,
+        )
+        self.manager = JobManager(
+            executor,
+            store,
+            max_pending=config.max_pending,
+            journal_batches=config.use_store,
+        )
+        self.limiter = RateLimiter(config.rate, config.burst)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, resume journaled work, and begin accepting clients."""
+        self.manager.start()
+        if self.config.resume:
+            resumed = self.manager.resume_pending()
+            if resumed:
+                print(
+                    f"resuming {resumed} journaled job(s) from a previous "
+                    "daemon instance",
+                    file=sys.stderr,
+                )
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when configured with port 0)."""
+        if self._server is None or not self._server.sockets:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request = await protocol.read_request(
+                reader, max_body=self.config.max_body
+            )
+            if request is None:
+                return
+            await self._route(request, writer)
+        except protocol.ProtocolError as exc:
+            try:
+                await protocol.send_error(
+                    writer, exc.status, str(exc), kind="config"
+                )
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _client_key(self, writer) -> str:
+        peer = writer.get_extra_info("peername")
+        if isinstance(peer, (tuple, list)) and peer:
+            return str(peer[0])
+        return str(peer)
+
+    async def _route(self, request: protocol.Request, writer) -> None:
+        if request.path in ("/healthz", "/health"):
+            if request.method != "GET":
+                await protocol.send_error(
+                    writer, 405, "use GET", kind="config"
+                )
+                return
+            await protocol.send_json(writer, 200, {
+                "status": "ok",
+                "schema_version": RESULT_SCHEMA_VERSION,
+                "uptime_seconds": self.manager.metrics()["uptime_seconds"],
+                "inflight": len(self.manager._inflight),
+            })
+            return
+        if request.path == "/metrics":
+            if request.method != "GET":
+                await protocol.send_error(
+                    writer, 405, "use GET", kind="config"
+                )
+                return
+            await protocol.send_json(writer, 200, self.manager.metrics())
+            return
+        if request.path == "/v1/jobs":
+            if request.method != "POST":
+                await protocol.send_error(
+                    writer, 405, "POST a job spec", kind="config"
+                )
+                return
+            await self._submit(request, writer)
+            return
+        await protocol.send_error(
+            writer, 404,
+            f"no such endpoint {request.path!r}; "
+            "try POST /v1/jobs, GET /healthz, GET /metrics",
+            kind="config",
+        )
+
+    async def _submit(self, request: protocol.Request, writer) -> None:
+        allowed, wait = self.limiter.check(self._client_key(writer))
+        if not allowed:
+            self.manager.counters["shed_rate_limited"] += 1
+            await protocol.send_error(
+                writer, 429,
+                "per-client rate limit exceeded",
+                kind="execution", retryable=True, retry_after=wait,
+            )
+            return
+        try:
+            spec = request.json()
+            keys, labels, workloads = expand_spec(spec)
+        except (protocol.ProtocolError, ConfigError) as exc:
+            await protocol.send_error(writer, 400, str(exc), kind="config")
+            return
+        try:
+            sub = self.manager.submit(keys)
+        except Overloaded as exc:
+            await protocol.send_error(
+                writer, 503, str(exc),
+                kind="execution", retryable=True,
+                retry_after=exc.retry_after,
+            )
+            return
+
+        stream = protocol.EventStream(writer, sse=request.wants_sse)
+        try:
+            await stream.start()
+            await stream.send({
+                "event": "accepted",
+                "schema_version": RESULT_SCHEMA_VERSION,
+                "keys": len(sub.remaining) + sub.counts["cached"],
+                "designs": labels,
+                "workloads": workloads,
+                "counts": dict(sub.counts),
+            })
+            while True:
+                event = await sub.queue.get()
+                if event is None:
+                    break
+                await stream.send(event)
+            await stream.send({
+                "event": "done",
+                "counts": dict(sub.counts),
+                "failed": sub.counts["failed"],
+            })
+        except (ConnectionError, OSError):
+            pass  # client disconnected mid-stream; computation continues
+        finally:
+            sub.closed = True
+            await stream.close()
+
+
+async def run_service(config: ServiceConfig) -> None:
+    """Run the daemon until SIGINT/SIGTERM; used by ``repro serve``."""
+    service = SweepService(config)
+    await service.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, ValueError):
+            pass  # platforms/threads without signal support
+    print(
+        f"repro sweep service listening on "
+        f"http://{config.host}:{service.port} "
+        f"(jobs={config.jobs}, shards={config.shards}, "
+        f"store={'on' if config.use_store else 'off'})",
+        file=sys.stderr,
+    )
+    try:
+        await stop.wait()
+    finally:
+        await service.close()
+
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ServiceConfig",
+    "SweepService",
+    "run_service",
+]

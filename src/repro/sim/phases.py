@@ -175,12 +175,21 @@ class PhaseMetrics:
     enclosing access window. Call :meth:`finalize` (or let the simulator
     do it) to flush the trailing partial epoch; :meth:`result` returns
     the immutable :class:`PhaseSeries`.
+
+    ``sink`` enables *incremental* streaming: it is called with each
+    :class:`PhaseSample` the moment its epoch closes (including the
+    trailing partial epoch at :meth:`finalize`), so a live consumer —
+    the sweep service's NDJSON stream, a progress UI — sees per-epoch
+    metrics while the run is still in flight instead of only at the
+    end. The samples passed to the sink are exactly those of the final
+    :class:`PhaseSeries`, in order.
     """
 
-    def __init__(self, epoch: int = DEFAULT_EPOCH):
+    def __init__(self, epoch: int = DEFAULT_EPOCH, sink=None):
         if epoch <= 0:
             raise ConfigError(f"epoch must be positive, got {epoch}")
         self.epoch = epoch
+        self.sink = sink
         self.samples: List[PhaseSample] = []
         self._start_access = 0
         self._reads = 0
@@ -226,19 +235,20 @@ class PhaseMetrics:
         )
 
     def _flush(self) -> None:
-        self.samples.append(
-            PhaseSample(
-                index=len(self.samples),
-                start_access=self._start_access,
-                accesses=self._reads,
-                hits=self._hits,
-                predicted_hits=self._predicted_hits,
-                correct_predictions=self._correct,
-                nvm_reads=self._nvm_reads,
-                nvm_writes=self._nvm_writes,
-                writebacks=self._writebacks,
-            )
+        sample = PhaseSample(
+            index=len(self.samples),
+            start_access=self._start_access,
+            accesses=self._reads,
+            hits=self._hits,
+            predicted_hits=self._predicted_hits,
+            correct_predictions=self._correct,
+            nvm_reads=self._nvm_reads,
+            nvm_writes=self._nvm_writes,
+            writebacks=self._writebacks,
         )
+        self.samples.append(sample)
+        if self.sink is not None:
+            self.sink(sample)
         self._start_access += self._reads
         self._reads = 0
         self._hits = 0

@@ -129,6 +129,7 @@ class Simulator:
         warmup_fraction: float = 0.25,
         epoch: Optional[int] = None,
         fast_path: bool = True,
+        phase_sink=None,
     ) -> RunResult:
         """Simulate a trace; statistics cover only the post-warmup part.
 
@@ -136,7 +137,10 @@ class Simulator:
         per-epoch time series over the measurement window (warmup is
         excluded), returned as :attr:`RunResult.phases`. Caches without
         an event-emitting access path (the CA-cache baseline) ignore the
-        request and report ``phases=None``.
+        request and report ``phases=None``. ``phase_sink`` is forwarded
+        to the observer: it receives each :class:`PhaseSample` live as
+        its epoch closes (incremental streaming for in-process
+        consumers such as the sweep service).
 
         When the cache exposes the split entry points
         (``read_split``/``writeback_split``), the loop drives them with
@@ -187,7 +191,7 @@ class Simulator:
         cache.stats = CacheStats()  # measurement window starts here
         phase_observer = None
         if epoch is not None and hasattr(cache, "add_observer"):
-            phase_observer = PhaseMetrics(epoch)
+            phase_observer = PhaseMetrics(epoch, sink=phase_sink)
             cache.add_observer(phase_observer)
         try:
             if use_split:

@@ -176,6 +176,71 @@ class TestResultStore:
         assert results[key].to_dict() == fresh.to_dict()
         assert store.get(key) is not None  # re-run result was re-stored
 
+    def test_stale_schema_version_is_quarantined_miss(self, tmp_path):
+        # An entry written under an older RESULT_SCHEMA_VERSION (its
+        # payload may even still parse) must be a miss, never trusted.
+        from repro.exec.jobs import RESULT_SCHEMA_VERSION
+
+        store = ResultStore(tmp_path)
+        key = key_for()
+        store.put(key, execute_job(key))
+        path = store.path_for(key)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["schema"] = RESULT_SCHEMA_VERSION - 1
+        path.write_text(json.dumps(record), encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="stale result schema"):
+            assert store.get(key) is None
+        assert store.stats.quarantined == 1
+        qdir = tmp_path / "quarantine"
+        why = json.loads((qdir / f"{path.name}.why").read_text("utf-8"))
+        assert "stale result schema" in why["reason"]
+
+
+class TestExecutorLifecycle:
+    """start()/shutdown() for long-lived owners (the sweep service)."""
+
+    def keys(self):
+        return [key_for(workload=w) for w in ("soplex", "libq", "mcf")]
+
+    def test_transient_run_still_tears_down_pool(self):
+        ex = Executor(jobs=2)
+        results = ex.run(self.keys())
+        assert len(results) == 3
+        assert ex._pool is None  # one-shot callers keep old semantics
+
+    def test_persistent_pool_reused_across_runs(self):
+        ex = Executor(jobs=2)
+        assert ex.start() is ex
+        ex.start()  # idempotent
+        try:
+            first = ex.run(self.keys())
+            pool = ex._pool
+            assert pool is not None
+            second = ex.run(self.keys())
+            assert ex._pool is pool  # same pool, not rebuilt per run
+            for key, result in first.items():
+                assert second[key].to_dict() == result.to_dict()
+        finally:
+            ex.shutdown()
+        assert ex._pool is None
+        ex.shutdown()  # idempotent, safe to repeat
+
+    def test_usable_again_after_shutdown(self):
+        ex = Executor(jobs=2).start()
+        baseline = ex.run(self.keys())
+        ex.shutdown()
+        again = ex.run(self.keys())  # rebuilds the pool transparently
+        assert ex._pool is not None
+        ex.shutdown()
+        for key, result in baseline.items():
+            assert again[key].to_dict() == result.to_dict()
+
+    def test_context_manager(self):
+        with Executor(jobs=2) as ex:
+            ex.run(self.keys())
+            assert ex._pool is not None
+        assert ex._pool is None
+
 
 class TestExecutor:
     DESIGNS = (

@@ -73,6 +73,26 @@ class TestPhaseMetrics:
     def test_empty_run_yields_empty_series(self):
         assert len(PhaseMetrics(epoch=4).result()) == 0
 
+    def test_sink_streams_each_epoch_incrementally(self):
+        # The sink (the sweep service's live phase stream) must see each
+        # sample the moment its epoch closes, not at finalize.
+        seen = []
+        metrics = PhaseMetrics(epoch=10, sink=seen.append)
+        for _ in range(15):
+            metrics.on_lookup(lookup_event())
+        assert [s.index for s in seen] == [0]  # first epoch already out
+        for _ in range(10):
+            metrics.on_lookup(lookup_event())
+        metrics.finalize()
+        assert [s.index for s in seen] == [0, 1, 2]  # trailing partial too
+        assert list(metrics.result()) == seen  # identical objects/order
+
+    def test_sink_sees_nothing_on_empty_run(self):
+        seen = []
+        metrics = PhaseMetrics(epoch=4, sink=seen.append)
+        metrics.finalize()
+        assert seen == []
+
     def test_prediction_counters(self):
         metrics = PhaseMetrics(epoch=10)
         metrics.on_lookup(lookup_event(hit=True, predicted=True, correct=True))
