@@ -97,10 +97,16 @@ def _cmd_run(names: List[str], passthrough: List[str]) -> int:
         print("use 'python -m repro list' to see what is available",
               file=sys.stderr)
         return 2
+    from repro.errors import ReproError
+
     for name in targets:
         module = importlib.import_module(f"repro.experiments.{name}")
         print(f"==> {name}")
-        module.main(passthrough)
+        try:
+            module.main(passthrough)
+        except ReproError as exc:
+            print(f"{name} failed: {exc}", file=sys.stderr)
+            return EXIT_EXECUTION
         print()
     return 0
 
@@ -195,7 +201,8 @@ def _cmd_profile(args: argparse.Namespace,
     if args.shards > 1:
         try:
             shard_profiles = profile_shards(
-                trace, args.shards, scale=args.scale, seed=args.seed
+                trace, args.shards, scale=args.scale, seed=args.seed,
+                engine=args.engine,
             )
         except ReproError as exc:
             parser.error(str(exc))
@@ -254,12 +261,32 @@ def _cmd_sweep(args: argparse.Namespace,
                 seed=settings.seed,
                 scale=settings.scale,
                 epoch=settings.epoch,
+                engine=settings.engine,
             )
             for workload in settings.suite
         ]
         for label, design in zip(labels, designs)
     }
     flat = [key for per_label in keys.values() for key in per_label]
+
+    if settings.engine_strict and settings.engine != "auto":
+        # Fail fast before any job is scheduled: probe each design's
+        # engine eligibility with the same resolver the workers use.
+        from repro.sim.engines import resolve_engine
+        from repro.sim.system import build_dram_cache
+        from repro.params.system import scaled_system
+
+        for label, design in zip(labels, designs):
+            cache = build_dram_cache(
+                design,
+                scaled_system(ways=design.ways, scale=settings.scale),
+                seed=settings.seed,
+            )
+            try:
+                resolve_engine(cache, requested=settings.engine,
+                               strict=True, design=design)
+            except ReproError as exc:
+                parser.error(f"--engine-strict: {exc}")
 
     journal = None
     if not args.no_journal:
@@ -393,6 +420,7 @@ def _cmd_bench(args: argparse.Namespace,
             scale=args.scale,
             repeats=args.repeats,
             shards=args.shards,
+            engine=args.engine,
         )
     except ReproError as exc:
         parser.error(str(exc))
@@ -485,6 +513,8 @@ def _cmd_submit(args: argparse.Namespace,
         spec["epoch"] = args.epoch_metrics
     if args.quick:
         spec["quick"] = True
+    if args.engine is not None and args.engine != "auto":
+        spec["engine"] = args.engine
     try:
         # Expand locally with the same code the server runs, so streamed
         # result digests map straight back onto (design, workload) cells.
@@ -625,6 +655,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 help="also time each of N set-range shards "
                                      "to attribute where a sharded run's "
                                      "wall-clock goes (default: off)")
+    profile_parser.add_argument("--engine", default="stream",
+                                choices=("auto", "vector", "stream", "loop"),
+                                help="drive engine the shard attribution is "
+                                     "timed under (default stream, the shard "
+                                     "workers' batched loop)")
     bench_parser = sub.add_parser(
         "bench",
         help="measure functional-simulator throughput (accesses/sec)",
@@ -660,6 +695,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                               dest="shard_scaling",
                               help="run the bench at shards=1 and --shards N "
                                    "and report the speedup (BENCH_shard.json)")
+    bench_parser.add_argument("--engine", default="auto",
+                              choices=("auto", "vector", "stream", "loop"),
+                              help="drive engine to benchmark; designs the "
+                                   "engine cannot drive exactly fall back "
+                                   "down the chain (default auto)")
     bench_parser.add_argument("--check-hit-rates", default=None,
                               dest="check_hit_rates", metavar="PATH",
                               help="assert per-design hit rates are exactly "
@@ -719,6 +759,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                                help="system scale factor in (0, 1]")
     submit_parser.add_argument("--quick", action="store_true",
                                help="small suite and short traces")
+    submit_parser.add_argument("--engine", default=None,
+                               choices=("auto", "vector", "stream", "loop"),
+                               help="drive engine request forwarded to the "
+                                    "service (results are engine-invariant)")
     submit_parser.add_argument("--epoch-metrics", type=int, default=None,
                                dest="epoch_metrics", metavar="N",
                                help="per-epoch phase metrics every N reads")
@@ -773,6 +817,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         passthrough += ["--retries", str(args.retries)]
     if args.timeout is not None:
         passthrough += ["--timeout", str(args.timeout)]
+    if args.engine != "auto":
+        passthrough += ["--engine", args.engine]
+    if args.engine_strict:
+        passthrough += ["--engine-strict"]
     return _cmd_run(args.names, passthrough)
 
 

@@ -96,10 +96,11 @@ class AccessPath:
         stats = cache.stats
         stats.demand_reads += 1
         steering = cache.steering
-        # static_candidates is the build-time-validated constant
-        # candidate set (see ensure_policy_conformance); when present it
-        # saves a method call per access.
-        candidates = getattr(steering, "static_candidates", None)
+        # static_candidates is a required protocol member, validated at
+        # build time (ensure_policy_conformance): the constant candidate
+        # set, or None when candidates vary per tag. When set it saves a
+        # method call per access.
+        candidates = steering.static_candidates
         if candidates is None:
             candidates = steering.candidate_ways(set_index, tag)
             if type(candidates) not in (tuple, list):
@@ -202,7 +203,7 @@ class AccessPath:
         update_transfers = replacement.update_transfers_on_hit
         # RandomReplacement's on_hit is a no-op; skip the call entirely.
         on_hit = None if type(replacement) is RandomReplacement else replacement.on_hit
-        static = getattr(steering, "static_candidates", None)
+        static = steering.static_candidates
         candidate_ways = steering.candidate_ways
         fill = self._fill
         writeback_split = self.writeback_split
@@ -299,7 +300,7 @@ class AccessPath:
             # steering policy may hand back any iterable; materialize it
             # once so probe counting (len / index) is well-defined.
             steering = cache.steering
-            candidates = getattr(steering, "static_candidates", None)
+            candidates = steering.static_candidates
             if candidates is None:
                 candidates = steering.candidate_ways(set_index, tag)
                 if type(candidates) not in (tuple, list):

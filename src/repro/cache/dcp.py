@@ -23,8 +23,11 @@ class DcpDirectory:
 
     authoritative = True
     # Each line address maps to exactly one set, so the exact directory
-    # partitions cleanly by set range — safe to shard.
+    # partitions cleanly by set range — safe to shard. It mirrors the
+    # tag store exactly, so the vector kernel models it as residency in
+    # its own tag arrays.
     shardable = True
+    vectorizable = True
 
     def __init__(self):
         self._way_of: Dict[int, int] = {}

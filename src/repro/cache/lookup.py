@@ -88,6 +88,7 @@ class ParallelLookup:
 
     kind = LookupKind.PARALLEL
     shardable = True  # stateless flow
+    vectorizable = True  # fixed-cost flow, replayed as array ops
 
     def lookup(
         self,
@@ -116,6 +117,7 @@ class SerialLookup:
 
     kind = LookupKind.SERIAL
     shardable = True  # stateless flow
+    vectorizable = True  # probe costs are a pure function of the hit way
 
     def lookup(
         self,
@@ -149,6 +151,7 @@ class WayPredictedLookup:
 
     kind = LookupKind.WAY_PREDICTED
     shardable = True  # stateless flow
+    vectorizable = True  # probe costs derive from (prediction, hit way)
 
     def lookup(
         self,

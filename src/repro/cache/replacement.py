@@ -51,6 +51,7 @@ class RandomReplacement:
 
     update_transfers_on_hit = 0
     shardable = True
+    vectorizable = True  # counter-based per-set stream, replayed exactly
 
     def __init__(self, rng: Optional[XorShift64] = None):
         self._rng = SetLocalRng.from_stream(rng or XorShift64(0xACC0))

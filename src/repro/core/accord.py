@@ -53,6 +53,7 @@ class _IdealizedLookup:
 
     kind = None
     shardable = True  # stateless oracle over the (set-local) tag store
+    vectorizable = True
 
     def lookup(self, set_index, tag, addr, store: TagStore, candidates, predictor=None):
         way = store.find_way_among(set_index, tag, candidates)

@@ -66,6 +66,7 @@ class RandomPredictor(WayPredictor):
 
     name = "rand"
     shardable = True  # per-set counter-based stream
+    vectorizable = True
 
     def __init__(self, geometry: CacheGeometry, rng: Optional[XorShift64] = None):
         super().__init__(geometry)
@@ -80,6 +81,7 @@ class StaticPreferredPredictor(WayPredictor):
 
     name = "preferred"
     shardable = True  # stateless
+    vectorizable = True
 
     def predict(self, set_index: int, tag: int, addr: int) -> int:
         return preferred_way(tag, self.ways)
@@ -95,6 +97,7 @@ class MruPredictor(WayPredictor):
 
     name = "mru"
     shardable = True  # one MRU way per set
+    vectorizable = True
 
     def __init__(self, geometry: CacheGeometry):
         super().__init__(geometry)
@@ -127,6 +130,7 @@ class PartialTagPredictor(WayPredictor):
 
     name = "partial_tag"
     shardable = True  # partial tags are per (set, way)
+    vectorizable = True
 
     def __init__(self, geometry: CacheGeometry, bits: int = 4):
         super().__init__(geometry)
@@ -167,6 +171,7 @@ class PerfectPredictor(WayPredictor):
 
     name = "perfect"
     shardable = True  # reads the (set-local) tag store only
+    vectorizable = True
 
     def __init__(self, geometry: CacheGeometry, store: TagStore):
         super().__init__(geometry)

@@ -56,6 +56,11 @@ class InstallSteeringPolicy(Protocol):
     name: str
     geometry: "CacheGeometry"
     ways: int
+    #: Constant candidate set, or None when candidates vary per tag.
+    #: Required: every steering policy must declare the attribute (the
+    #: access path reads it directly — no runtime probe). Validated by
+    #: :func:`ensure_policy_conformance` at design-build time.
+    static_candidates: Optional[Sequence[int]]
 
     def candidate_ways(self, set_index: int, tag: int) -> Sequence[int]: ...
 
@@ -130,7 +135,8 @@ class DcpDirectoryPolicy(Protocol):
 
 
 #: Policy roles consulted by the access path, in reporting order. Each
-#: may carry the optional ``shardable`` capability attribute.
+#: may carry the optional ``shardable`` / ``vectorizable`` capability
+#: attributes.
 _SHARD_ROLES = ("steering", "predictor", "replacement", "dcp", "lookup")
 
 
@@ -181,6 +187,48 @@ def cache_is_shardable(cache) -> bool:
     return not unshardable_roles(cache)
 
 
+def policy_is_vectorizable(policy) -> bool:
+    """The ``vectorizable`` capability of one policy (default False).
+
+    ``vectorizable = True`` declares that the policy's full behavior —
+    candidate sets, probe order, install choice, prediction, random
+    draws, observation hooks — is a deterministic set-local function
+    that the vector simulation engine
+    (:class:`repro.sim.engines.VectorEngine`) replays exactly as whole-
+    array numpy recurrences. It is strictly stronger than ``shardable``:
+    a vectorizable policy must also be shardable, because the vector
+    kernel reorders accesses across sets (never within one).
+
+    Like ``shardable``, the capability is opt-in with a conservative
+    default: a policy that does not declare it is driven through the
+    exact per-access paths. Only the in-repo policies whose recurrences
+    the vector kernel implements declare True.
+    """
+    return bool(getattr(policy, "vectorizable", False)) if policy is not None else True
+
+
+def unvectorizable_roles(cache) -> list:
+    """Names of the cache's policy roles that block vector execution.
+
+    Empty list means every role opted in (the engine may still decline
+    for structural reasons, e.g. an unprefilled store). A cache without
+    an ``AccessPath`` is a single ``"cache"`` pseudo-role, as in
+    :func:`unshardable_roles`.
+    """
+    if getattr(cache, "path", None) is None:
+        return ["cache"]
+    return [
+        role
+        for role in _SHARD_ROLES
+        if not policy_is_vectorizable(getattr(cache, role, None))
+    ]
+
+
+def cache_is_vectorizable(cache) -> bool:
+    """True when every policy role of ``cache`` declares ``vectorizable``."""
+    return not unvectorizable_roles(cache)
+
+
 def ensure_policy_conformance(cache) -> None:
     """Validate a cache's policies against the protocols.
 
@@ -210,15 +258,24 @@ def ensure_policy_conformance(cache) -> None:
 def _check_static_candidates(steering) -> None:
     """Validate the steering policy's ``static_candidates`` declaration.
 
-    ``static_candidates`` (optional attribute, default None) is the
+    ``static_candidates`` (required attribute, None allowed) is the
     hot-loop contract the access path relies on: when not None,
     ``candidate_ways`` must return exactly that sequence for every
-    (set, tag). The access path then skips the per-access call entirely
-    — this one build-time probe replaces millions of run-time ones, so a
-    policy that lies here would silently corrupt candidate accounting.
-    Checked once, at design-build time, with a representative probe.
+    (set, tag). The access path reads the attribute directly — no
+    runtime probe — so a policy must declare it (None means "candidates
+    vary per tag, call ``candidate_ways``"). This one build-time check
+    replaces millions of run-time ones, so a policy that lies here
+    would silently corrupt candidate accounting. Checked once, at
+    design-build time, with a representative probe.
     """
-    static = getattr(steering, "static_candidates", None)
+    try:
+        static = steering.static_candidates
+    except AttributeError:
+        raise PolicyError(
+            f"steering policy {type(steering).__name__} does not declare "
+            f"static_candidates (set it to None when candidate sets vary "
+            f"per tag)"
+        ) from None
     if static is None:
         return
     declared = tuple(static)
@@ -240,4 +297,7 @@ __all__ = [
     "policy_is_shardable",
     "unshardable_roles",
     "cache_is_shardable",
+    "policy_is_vectorizable",
+    "unvectorizable_roles",
+    "cache_is_vectorizable",
 ]

@@ -115,8 +115,10 @@ class UnbiasedSteering(InstallSteering):
     name = "unbiased"
     # Delegates entirely to the replacement policy; whether the combined
     # stack shards safely is the replacement policy's call, checked
-    # separately by cache_is_shardable().
+    # separately by cache_is_shardable() (and likewise for the vector
+    # engine via cache_is_vectorizable()).
     shardable = True
+    vectorizable = True
 
     def choose_install_way(
         self,
@@ -135,6 +137,7 @@ class DirectMappedSteering(InstallSteering):
 
     name = "direct"
     shardable = True  # stateless: pure function of the tag
+    vectorizable = True
 
     def __init__(self, geometry: CacheGeometry):
         super().__init__(geometry)

@@ -94,8 +94,11 @@ class SkewedWaySteering(InstallSteering):
 
     name = "sws"
     # Candidates are pure in the tag and the install coin is per-set
-    # (via PWS's set-local stream), so SWS is safe to shard by set.
+    # (via PWS's set-local stream), so SWS is safe to shard by set —
+    # and, the candidate scan being a pure function of the tag, safe
+    # for the vector engine to replay as whole-array ops.
     shardable = True
+    vectorizable = True
 
     def __init__(
         self,

@@ -53,6 +53,10 @@ class JobKey:
     footprint_scale: Optional[float] = None
     # Demand reads per phase-metrics sample; None disables the observer.
     epoch: Optional[int] = None
+    # Drive engine request. Excluded from canonical(): engines are
+    # bit-identical, so the choice never forks the memo space — a result
+    # computed under any engine satisfies the same key.
+    engine: str = "auto"
 
     def __post_init__(self):
         if self.num_accesses <= 0:
@@ -63,6 +67,13 @@ class JobKey:
             raise ConfigError(f"scale must be in (0, 1], got {self.scale}")
         if self.epoch is not None and self.epoch <= 0:
             raise ConfigError(f"epoch must be positive, got {self.epoch}")
+        from repro.sim.engines import ENGINE_NAMES
+
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{', '.join(ENGINE_NAMES)}"
+            )
         if self.footprint_scale is None:
             object.__setattr__(self, "footprint_scale", self.scale)
 
@@ -210,7 +221,34 @@ def execute_shard(task: ShardTask):
         warmup=key.warmup,
         epoch=key.epoch,
         seed=key.seed,
+        engine=_shard_engine(key),
     )
+
+
+def _shard_engine(key: JobKey) -> str:
+    """Concrete engine name for one shard of ``key``'s simulation.
+
+    Shard workers need a non-"auto" engine (drive_shard does not
+    resolve); resolve the request against a probe cache once per
+    (design, scale, engine) — fallback warnings fire here, in whichever
+    process plans or executes first, and at most once.
+    """
+    from repro.sim.engines import resolve_engine
+    from repro.sim.system import build_dram_cache
+
+    cache_key = (repr(key.design), key.scale, key.engine)
+    name = _ENGINE_PLAN_CACHE.get(cache_key)
+    if name is None:
+        config = scaled_system(ways=key.design.ways, scale=key.scale)
+        cache = build_dram_cache(key.design, config, seed=key.seed)
+        name = resolve_engine(
+            cache, requested=key.engine, design=key.design
+        ).name
+        _ENGINE_PLAN_CACHE[cache_key] = name
+    return name
+
+
+_ENGINE_PLAN_CACHE: Dict[Tuple[str, float, str], str] = {}
 
 
 def execute_shard_traced(task: ShardTask, claims_dir: str):
@@ -235,6 +273,7 @@ def execute_job(key: JobKey) -> RunResult:
         warmup=key.warmup,
         seed=key.seed,
         epoch=key.epoch,
+        engine=key.engine,
     )
 
 
@@ -261,6 +300,7 @@ def execute_job_sharded(key: JobKey, shards: int) -> RunResult:
         epoch=key.epoch,
         shards=shards,
         seed=key.seed,
+        engine=key.engine,
     )
 
 

@@ -61,6 +61,11 @@ class Settings:
     # Only enforced on the parallel path, where a stuck worker can be
     # killed and its job rescheduled.
     timeout: Optional[float] = None
+    # Drive-engine request (--engine); results are engine-invariant.
+    engine: str = "auto"
+    # --engine-strict: error instead of falling back when the requested
+    # engine cannot drive a design exactly.
+    engine_strict: bool = False
 
     def quick(self) -> "Settings":
         """A reduced configuration for smoke tests and CI."""
@@ -158,6 +163,19 @@ def add_settings_arguments(parser: argparse.ArgumentParser) -> None:
                         help="per-job wall-clock timeout in seconds; a stuck "
                              "worker is killed and the job rescheduled "
                              "(parallel runs only; default: none)")
+    from repro.sim.engines import ENGINE_NAMES
+
+    parser.add_argument("--engine", type=str, default="auto",
+                        choices=ENGINE_NAMES,
+                        help="drive engine: auto picks the fastest exact "
+                             "engine per design (vector kernel, batched "
+                             "stream loop, or per-access reference loop); "
+                             "results are identical under every engine")
+    parser.add_argument("--engine-strict", action="store_true",
+                        dest="engine_strict",
+                        help="error instead of falling back when the "
+                             "requested --engine cannot drive a design "
+                             "exactly")
 
 
 def settings_from_args(
@@ -203,6 +221,8 @@ def settings_from_args(
         epoch=args.epoch_metrics,
         retries=args.retries,
         timeout=args.timeout,
+        engine=args.engine,
+        engine_strict=args.engine_strict,
     ).budgeted()
 
 
@@ -247,6 +267,21 @@ class SuiteRunner:
             # Subclasses may pin footprints elsewhere (Table VIII).
             footprint_scale=self.traces.footprint_scale,
             epoch=self.settings.epoch,
+            engine=self.settings.engine,
+        )
+
+    def _check_engine_strict(self, design: AccordDesign) -> None:
+        """Fail fast under --engine-strict before any job is scheduled."""
+        if not self.settings.engine_strict or self.settings.engine == "auto":
+            return
+        from repro.sim.engines import resolve_engine
+        from repro.sim.system import build_dram_cache
+
+        cache = build_dram_cache(
+            design, self.config_for(design), seed=self.settings.seed
+        )
+        resolve_engine(
+            cache, requested=self.settings.engine, strict=True, design=design
         )
 
     def run(self, label: str, design: AccordDesign) -> Dict[str, RunResult]:
@@ -254,6 +289,7 @@ class SuiteRunner:
         if label not in self._results:
             if not self.settings.suite:
                 raise WorkloadError("workload suite is empty")
+            self._check_engine_strict(design)
             keys = [self.job_key(design, w) for w in self.settings.suite]
             resolved = self.executor.run(keys)
             self._results[label] = {

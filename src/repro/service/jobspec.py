@@ -17,8 +17,15 @@ Spec grammar (JSON object)::
       "accesses": 40000,            # optional
       "seed": 7, "scale": 0.0078125, "warmup": 0.5,   # optional
       "epoch": 10000,               # optional: phase-resolved metrics
-      "quick": true                 # optional: CLI --quick defaults
+      "quick": true,                # optional: CLI --quick defaults
+      "engine": "vector"            # optional: drive engine request
     }
+
+The ``engine`` field requests a drive engine
+(:mod:`repro.sim.engines`); results are engine-invariant, so the field
+does not participate in :meth:`~repro.exec.JobKey.canonical` identity —
+the same spec with a different engine deduplicates onto the same
+store slot.
 
 The client and server both call :func:`expand_spec`, so they agree on
 the key set without exchanging digests.
@@ -51,7 +58,7 @@ SPEC_KINDS = ("sweep", "run")
 
 _KNOWN_FIELDS = frozenset({
     "kind", "designs", "workloads", "accesses", "seed", "scale",
-    "warmup", "epoch", "quick",
+    "warmup", "epoch", "quick", "engine",
 })
 
 
@@ -140,6 +147,16 @@ def expand_spec(
     epoch: Optional[int] = None
     if spec.get("epoch") is not None:
         epoch = _number(spec, "epoch", None, int)
+    engine = spec.get("engine", "auto")
+    if not isinstance(engine, str):
+        raise ConfigError("job spec: 'engine' must be a string")
+    from repro.sim.engines import ENGINE_NAMES
+
+    if engine not in ENGINE_NAMES:
+        raise ConfigError(
+            f"job spec: unknown engine {engine!r}; "
+            f"expected one of {ENGINE_NAMES}"
+        )
     keys = [
         JobKey(
             design=design,
@@ -149,6 +166,7 @@ def expand_spec(
             seed=seed,
             scale=scale,
             epoch=epoch,
+            engine=engine,
         )
         for design in designs
         for workload in workloads

@@ -41,6 +41,7 @@ from repro.core.accord import AccordDesign
 from repro.core.protocols import cache_is_shardable
 from repro.errors import ReproError
 from repro.params.system import scaled_system
+from repro.sim.engines import resolve_engine
 from repro.sim.runner import TraceFactory
 from repro.sim.shard import (
     effective_shard_count,
@@ -92,6 +93,7 @@ def run_bench(
     repeats: int = DEFAULT_REPEATS,
     designs: Sequence[AccordDesign] = BENCH_DESIGNS,
     shards: int = 1,
+    engine: str = "auto",
 ) -> Dict[str, Any]:
     """Time every design on one trace; returns the JSON-ready report.
 
@@ -104,6 +106,12 @@ def run_bench(
     ``"shards": 1``. The shared trace is sharded once up front
     (memoized per geometry), so shard planning is excluded from the
     timed region the same way ``split_columns`` precomputation is.
+
+    ``engine`` requests a drive engine (:mod:`repro.sim.engines`);
+    designs the requested engine cannot drive exactly fall back down
+    the chain with a one-time warning, and each row records the engine
+    that actually ran. Engine resolution happens on a probe cache
+    outside the timed region.
     """
     if repeats < 1:
         raise ReproError("bench needs at least one repeat")
@@ -114,9 +122,15 @@ def run_bench(
     total_time = 0.0
     for design in designs:
         config = scaled_system(ways=design.ways, scale=scale)
+        probe = build_dram_cache(design, config, seed=seed)
+        # Resolve the engine once per design on the probe cache so
+        # fallback warnings and plan eligibility checks stay outside
+        # the timed region.
+        engine_name = resolve_engine(
+            probe, requested=engine, design=design
+        ).name
         effective = 1
         if shards > 1:
-            probe = build_dram_cache(design, config, seed=seed)
             if cache_is_shardable(probe):
                 effective = effective_shard_count(
                     shards, probe.geometry.num_sets
@@ -134,12 +148,15 @@ def run_bench(
                 result = run_sharded(
                     config, design, trace,
                     warmup=warmup, shards=effective, seed=seed,
+                    engine=engine_name,
                 )
                 elapsed = time.perf_counter() - start
             else:
                 simulator = Simulator(config, design, seed=seed)
                 start = time.perf_counter()
-                result = simulator.run(trace, warmup_fraction=warmup)
+                result = simulator.run(
+                    trace, warmup_fraction=warmup, engine=engine_name
+                )
                 elapsed = time.perf_counter() - start
             if best is None or elapsed < best:
                 best = elapsed
@@ -150,6 +167,7 @@ def run_bench(
                 "kind": design.kind,
                 "ways": design.ways,
                 "shards": effective,
+                "engine": engine_name,
                 "accesses_per_sec": len(trace) / best,
                 "elapsed_sec": best,
                 "hit_rate": hit_rate,
@@ -166,6 +184,7 @@ def run_bench(
         "warmup": warmup,
         "repeats": repeats,
         "shards": shards,
+        "engine": engine,
         "designs": rows,
         "aggregate_accesses_per_sec": total_accesses / total_time,
     }

@@ -1,0 +1,139 @@
+"""Pluggable drive engines and the capability-based resolver.
+
+Three engines implement the :class:`~repro.sim.engines.base.Engine`
+contract, ordered fastest-first:
+
+* ``vector`` — whole-trace numpy kernel; deterministic set-local
+  designs only (every policy declares ``vectorizable``, plus the
+  structural checks in :mod:`repro.sim.engines.vector`).
+* ``stream`` — the batched ``run_stream`` hot loop; any cache with an
+  access path.
+* ``loop`` — the per-address reference loop; every cache.
+
+:func:`resolve_engine` replaces the old scattered ``hasattr`` probes:
+``auto`` silently picks the fastest supported engine; an explicitly
+requested engine that cannot drive the cache falls down the same chain
+with a one-time warning (mirroring the shard driver's serial fallback),
+or raises under ``strict``. All engines are bit-identical where they
+overlap, so the choice never changes results — which is why
+:class:`~repro.exec.jobs.JobKey` excludes the engine from its canonical
+identity.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Tuple
+
+from repro.core.protocols import unvectorizable_roles
+from repro.errors import SimulationError
+from repro.sim.engines.base import Engine, Segment, TraceStream, serial_segments
+from repro.sim.engines.loop import PerAccessEngine
+from repro.sim.engines.stream import StreamEngine
+from repro.sim.engines.vector import VectorEngine
+
+#: Accepted ``--engine`` values, resolver preference order after "auto".
+ENGINE_NAMES: Tuple[str, ...] = ("auto", "vector", "stream", "loop")
+
+ENGINES = {
+    "vector": VectorEngine(),
+    "stream": StreamEngine(),
+    "loop": PerAccessEngine(),
+}
+
+#: Fallback chain: an unsupported explicit request degrades in this
+#: order until an engine supports the cache (loop always does).
+_CHAIN = ("vector", "stream", "loop")
+
+_ENGINE_FALLBACK_WARNED: set = set()
+
+
+def get_engine(name: str) -> Engine:
+    """The engine registered under ``name`` (not "auto")."""
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown engine {name!r}; expected one of {ENGINE_NAMES}"
+        ) from None
+
+
+def warn_engine_fallback(design, cache, requested: str, fallback: str) -> None:
+    """One-time warning that an explicit engine request was downgraded."""
+    if requested == "vector":
+        roles = tuple(unvectorizable_roles(cache)) or ("cache",)
+    else:
+        roles = ("cache",)
+    if design is not None:
+        key = (requested, design.kind, design.ways, design.hashes, roles)
+        label = design.label or design.kind
+    else:
+        key = (requested, type(cache).__name__, roles)
+        label = type(cache).__name__
+    if key in _ENGINE_FALLBACK_WARNED:
+        return
+    _ENGINE_FALLBACK_WARNED.add(key)
+    warnings.warn(
+        f"design {label!r} has non-vectorizable policy state "
+        f"({', '.join(roles)}); --engine {requested} ignored, running "
+        f"{fallback} (results stay exact)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def resolve_engine(
+    cache,
+    requested: str = "auto",
+    strict: bool = False,
+    design=None,
+) -> Engine:
+    """Pick the engine that drives ``cache``, honoring the request.
+
+    ``auto`` returns the fastest supported engine, silently. An explicit
+    request is honored when supported; otherwise ``strict`` raises
+    :class:`SimulationError`, and the default falls down the chain
+    (vector → stream → loop) with a one-time
+    :func:`warn_engine_fallback` warning.
+    """
+    if requested not in ENGINE_NAMES:
+        raise SimulationError(
+            f"unknown engine {requested!r}; expected one of {ENGINE_NAMES}"
+        )
+    if requested == "auto":
+        for name in _CHAIN:
+            engine = ENGINES[name]
+            if engine.supports(cache):
+                return engine
+        return ENGINES["loop"]
+    engine = ENGINES[requested]
+    if engine.supports(cache):
+        return engine
+    if strict:
+        label = design.label or design.kind if design is not None else type(cache).__name__
+        raise SimulationError(
+            f"engine {requested!r} cannot drive design {label!r} exactly "
+            f"(--engine-strict); use --engine auto to fall back"
+        )
+    for name in _CHAIN[_CHAIN.index(requested) + 1:]:
+        fallback = ENGINES[name]
+        if fallback.supports(cache):
+            warn_engine_fallback(design, cache, requested, name)
+            return fallback
+    return ENGINES["loop"]
+
+
+__all__ = [
+    "ENGINES",
+    "ENGINE_NAMES",
+    "Engine",
+    "PerAccessEngine",
+    "Segment",
+    "StreamEngine",
+    "TraceStream",
+    "VectorEngine",
+    "get_engine",
+    "resolve_engine",
+    "serial_segments",
+    "warn_engine_fallback",
+]

@@ -195,6 +195,7 @@ def profile_shards(
     scale: float = 1.0 / 128.0,
     seed: int = 7,
     warmup: float = 0.3,
+    engine: str = "stream",
 ) -> List[ShardProfile]:
     """Time each shard of a sharded run to expose load imbalance.
 
@@ -204,11 +205,17 @@ def profile_shards(
     per-shard wall times reflect what each worker of ``--shards N``
     would spend. The bottleneck shard bounds the parallel speedup:
     ideal is ``total / max``, not ``n_shards``.
+
+    ``engine`` selects the drive engine each shard is timed under
+    (default ``stream``, the shard workers' historical hot loop;
+    ``auto`` resolves to the fastest supported engine, ``vector``
+    attributes the numpy kernel's per-shard time instead).
     """
     import time
 
     from repro.core.accord import AccordDesign
     from repro.params.system import scaled_system
+    from repro.sim.engines import resolve_engine
     from repro.sim.shard import run_shard
     from repro.sim.system import build_dram_cache
 
@@ -216,14 +223,16 @@ def profile_shards(
         raise TraceError(f"shard count must be >= 1, got {n_shards}")
     design = AccordDesign(kind="pws", ways=2)
     config = scaled_system(ways=design.ways, scale=scale)
-    geometry = build_dram_cache(design, config, seed=seed).geometry
+    cache = build_dram_cache(design, config, seed=seed)
+    geometry = cache.geometry
+    engine_name = resolve_engine(cache, requested=engine, design=design).name
     shards = trace.shard(geometry, n_shards)
     profiles = []
     for shard in shards:
         start = time.perf_counter()
         run_shard(
             config, design, trace, shard.index, len(shards),
-            warmup=warmup, seed=seed,
+            warmup=warmup, seed=seed, engine=engine_name,
         )
         elapsed = time.perf_counter() - start
         profiles.append(

@@ -100,17 +100,24 @@ def run_design(
     warmup: float = DEFAULT_WARMUP,
     seed: int = 7,
     epoch: Optional[int] = None,
+    engine: str = "auto",
+    engine_strict: bool = False,
 ) -> RunResult:
     """Run one design on one workload; convenience entry point.
 
     ``epoch`` enables phase-resolved metrics: per-epoch hit-rate /
     prediction-accuracy / NVM-traffic samples on ``RunResult.phases``.
+    ``engine`` selects the drive strategy (:mod:`repro.sim.engines`);
+    results are engine-invariant.
     """
     config = config or scaled_system(ways=design.ways)
     traces = traces or TraceFactory(config, num_accesses, seed)
     trace = traces.trace_for(workload)
     simulator = Simulator(config, design, seed=seed)
-    return simulator.run(trace, warmup_fraction=warmup, epoch=epoch)
+    return simulator.run(
+        trace, warmup_fraction=warmup, epoch=epoch,
+        engine=engine, engine_strict=engine_strict,
+    )
 
 
 def run_suite(
@@ -127,6 +134,7 @@ def run_suite(
     retries: int = 1,
     timeout: Optional[float] = None,
     shards: int = 1,
+    engine: str = "auto",
 ) -> Dict[str, RunResult]:
     """Run one design across a workload suite.
 
@@ -169,6 +177,7 @@ def run_suite(
                 scale=config.scale,
                 footprint_scale=traces.footprint_scale,
                 epoch=epoch,
+                engine=engine,
             )
             for workload in workloads
         ]
@@ -182,6 +191,7 @@ def run_suite(
         results[workload] = run_design(
             design, workload, config=config, traces=traces,
             num_accesses=num_accesses, warmup=warmup, seed=seed, epoch=epoch,
+            engine=engine,
         )
     return results
 

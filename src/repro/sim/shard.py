@@ -48,6 +48,7 @@ from repro.core.accord import AccordDesign
 from repro.core.protocols import cache_is_shardable, unshardable_roles
 from repro.errors import SimulationError
 from repro.params.system import SystemConfig
+from repro.sim.engines import get_engine, resolve_engine
 from repro.sim.phases import PhaseSample, PhaseSeries
 from repro.sim.stats import CacheStats
 from repro.sim.system import RunResult, Simulator, build_dram_cache
@@ -246,39 +247,21 @@ def drive_shard(
     epoch: Optional[int],
     workload: str,
     instructions_per_access: float,
+    engine: str = "stream",
 ) -> ShardOutcome:
     """Run one shard's records through a fresh cache; measure post-warmup.
 
-    Mirrors :meth:`Simulator.run` exactly: warmup drives the stream,
-    stats reset at the warm boundary, then the measured segments run —
-    with the epoch-bucket observer attached when phase-resolved (which
-    forces the same per-access path the serial observer run takes).
+    Mirrors :meth:`Simulator.run` exactly: warmup drives the shard's
+    records, stats reset at the warm boundary, then the measured
+    segments run with global-epoch bucket accounting when
+    phase-resolved. The drive is delegated to a concrete engine
+    (``engine`` must not be "auto" here — :func:`run_sharded` resolves
+    once in the parent so all shards agree and warnings fire once).
     """
-    path = cache.path
-    path.run_stream(
-        shard.writes, shard.set_indices, shard.tags, shard.addrs, 0, local_warm
+    eng = get_engine(engine)
+    phases = eng.drive(
+        cache, shard, local_warm, segments, epoch, global_epochs=True
     )
-    cache.stats = CacheStats()
-    phases: Optional[PhaseSeries] = None
-    if epoch is None:
-        for _, start, stop in segments:
-            path.run_stream(
-                shard.writes, shard.set_indices, shard.tags, shard.addrs,
-                start, stop,
-            )
-    else:
-        buckets = _EpochBuckets()
-        cache.add_observer(buckets)
-        try:
-            for epoch_id, start, stop in segments:
-                buckets.set_epoch(epoch_id)
-                path.run_stream(
-                    shard.writes, shard.set_indices, shard.tags, shard.addrs,
-                    start, stop,
-                )
-        finally:
-            cache.remove_observer(buckets)
-        phases = buckets.result(epoch)
     return ShardOutcome(
         stats=cache.stats,
         phases=phases,
@@ -296,6 +279,7 @@ def run_shard(
     warmup: float = 0.25,
     epoch: Optional[int] = None,
     seed: int = 1,
+    engine: str = "stream",
 ) -> ShardOutcome:
     """Build a cache and run one shard of ``trace`` (worker entry point).
 
@@ -310,7 +294,7 @@ def run_shard(
     local_warm, segments = shard_segments(trace, shard, warm, epoch)
     return drive_shard(
         cache, shard, local_warm, segments, epoch,
-        trace.name, trace.instructions_per_access,
+        trace.name, trace.instructions_per_access, engine=engine,
     )
 
 
@@ -383,9 +367,12 @@ def warn_serial_fallback(design: AccordDesign, cache) -> None:
 def _run_shard_payload(payload) -> ShardOutcome:
     """Module-level worker fn for :func:`run_sharded`'s process pool."""
     (config, design, seed, shard, local_warm, segments, epoch,
-     workload, ipa) = payload
+     workload, ipa, engine) = payload
     cache = build_dram_cache(design, config, seed=seed)
-    return drive_shard(cache, shard, local_warm, segments, epoch, workload, ipa)
+    return drive_shard(
+        cache, shard, local_warm, segments, epoch, workload, ipa,
+        engine=engine,
+    )
 
 
 def run_sharded(
@@ -397,6 +384,8 @@ def run_sharded(
     shards: int = 2,
     seed: int = 1,
     inline: bool = False,
+    engine: str = "auto",
+    engine_strict: bool = False,
 ) -> RunResult:
     """Run one (design, trace) pair split across shard workers.
 
@@ -406,10 +395,20 @@ def run_sharded(
     that exact serial path instead. ``inline=True`` keeps the shard
     loop in-process (deterministic single-process execution of the same
     decomposition; used by tests and the Executor's flattened tasks).
+
+    ``engine`` composes with sharding: the request is resolved once
+    here, on a probe cache in the parent (so an unsupported explicit
+    request warns or raises exactly once, not per worker), and the
+    resolved concrete engine drives every shard — and the serial
+    fallback path, which forwards the same resolution to
+    :meth:`Simulator.run`.
     """
     if not 0.0 <= warmup < 1.0:
         raise SimulationError("warmup fraction must be in [0, 1)")
     cache = build_dram_cache(design, config, seed=seed)
+    engine_name = resolve_engine(
+        cache, requested=engine, strict=engine_strict, design=design
+    ).name
     n_shards = effective_shard_count(shards, cache.geometry.num_sets)
     if n_shards > 1 and not cache_is_shardable(cache):
         warn_serial_fallback(design, cache)
@@ -419,20 +418,23 @@ def run_sharded(
         inline = True
     if n_shards <= 1:
         return Simulator(config, design, seed=seed).run(
-            trace, warmup_fraction=warmup, epoch=epoch
+            trace, warmup_fraction=warmup, epoch=epoch, engine=engine_name
         )
     warm = int(len(trace) * warmup)
     shard_slices = trace.shard(cache.geometry, n_shards)
     plans = [shard_segments(trace, shard, warm, epoch) for shard in shard_slices]
     if inline:
         outcomes = [
-            run_shard(config, design, trace, i, n_shards, warmup, epoch, seed)
+            run_shard(
+                config, design, trace, i, n_shards, warmup, epoch, seed,
+                engine=engine_name,
+            )
             for i in range(n_shards)
         ]
     else:
         payloads = [
             (config, design, seed, shard, local_warm, segments, epoch,
-             trace.name, trace.instructions_per_access)
+             trace.name, trace.instructions_per_access, engine_name)
             for shard, (local_warm, segments) in zip(shard_slices, plans)
         ]
         workers = min(n_shards, os.cpu_count() or 1)

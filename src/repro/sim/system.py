@@ -16,7 +16,8 @@ from repro.cache.geometry import CacheGeometry
 from repro.core.accord import AccordDesign, make_design
 from repro.errors import SimulationError
 from repro.params.system import SystemConfig
-from repro.sim.phases import PhaseMetrics, PhaseSeries
+from repro.sim.engines import TraceStream, resolve_engine, serial_segments
+from repro.sim.phases import PhaseSeries
 from repro.sim.stats import CacheStats
 from repro.sim.timing_model import IntervalTimingModel, TimingBreakdown
 from repro.sim.trace import Trace
@@ -122,6 +123,7 @@ class Simulator:
         self.seed = seed
         self.cache = build_dram_cache(design, config, seed=seed)
         self.timing_model = IntervalTimingModel(config)
+        self._driven = False
 
     def run(
         self,
@@ -130,91 +132,51 @@ class Simulator:
         epoch: Optional[int] = None,
         fast_path: bool = True,
         phase_sink=None,
+        engine: str = "auto",
+        engine_strict: bool = False,
     ) -> RunResult:
         """Simulate a trace; statistics cover only the post-warmup part.
 
-        With ``epoch`` set, a :class:`PhaseMetrics` observer records
-        per-epoch time series over the measurement window (warmup is
-        excluded), returned as :attr:`RunResult.phases`. Caches without
-        an event-emitting access path (the CA-cache baseline) ignore the
-        request and report ``phases=None``. ``phase_sink`` is forwarded
-        to the observer: it receives each :class:`PhaseSample` live as
-        its epoch closes (incremental streaming for in-process
-        consumers such as the sweep service).
+        With ``epoch`` set, per-epoch time series are recorded over the
+        measurement window (warmup is excluded), returned as
+        :attr:`RunResult.phases`. Caches without an event-emitting
+        access path (the CA-cache baseline) ignore the request and
+        report ``phases=None``. ``phase_sink`` receives each
+        :class:`PhaseSample` live as its epoch closes (incremental
+        streaming for in-process consumers such as the sweep service).
 
-        When the cache exposes the split entry points
-        (``read_split``/``writeback_split``), the loop drives them with
-        the trace's precomputed per-geometry address columns
-        (:meth:`Trace.split_columns`) so ``geometry.split`` never runs
-        per access. ``fast_path=False`` forces the per-address loop; the
-        two are bit-identical (asserted by the equivalence tests) — the
-        flag exists for those tests and for benchmark comparisons.
+        The drive itself is delegated to an engine
+        (:mod:`repro.sim.engines`): ``engine="auto"`` picks the fastest
+        one supporting the cache — the whole-trace vector kernel for
+        deterministic set-local designs, the batched ``run_stream`` loop
+        otherwise, the per-address reference loop as the floor. An
+        explicit request that cannot drive the cache falls back with a
+        one-time warning, or raises under ``engine_strict``. All engines
+        are bit-identical (asserted by the equivalence tests), so the
+        choice never changes results. ``fast_path=False`` forces the
+        reference loop (kept for those tests and benchmarks).
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise SimulationError("warmup fraction must be in [0, 1)")
+        if not fast_path:
+            engine = "loop"
+        if self._driven:
+            # Engines own warmup from a freshly built cache (the vector
+            # kernel replays build-time state); a second run() must not
+            # see the first run's residue.
+            self.cache = build_dram_cache(self.design, self.config, seed=self.seed)
+        self._driven = True
+        cache = self.cache
         n = len(trace)
         warm = int(n * warmup_fraction)
-        addrs = trace.addrs
-        writes = trace.writes
-        cache = self.cache
-        use_split = fast_path and hasattr(cache, "read_split")
-        if use_split:
-            columns = trace.split_columns(cache.geometry)
-            sets, tags = columns.set_indices, columns.tags
-            # Drive the access path's batch loop directly when the cache
-            # exposes one; it hoists per-access constant work and skips
-            # the delegation frame (bit-identical, see run_stream).
-            path = getattr(cache, "path", None)
-            if path is not None:
-                run_stream = path.run_stream
-                run_stream(writes, sets, tags, addrs, 0, warm)
-            else:
-                run_stream = None
-                read_split = cache.read_split
-                writeback_split = cache.writeback_split
-                for w, s, t, a in zip(
-                    writes[:warm], sets[:warm], tags[:warm], addrs[:warm]
-                ):
-                    if w:
-                        writeback_split(s, t, a)
-                    else:
-                        read_split(s, t, a)
-        else:
-            read = cache.read
-            writeback = cache.writeback
-            for w, a in zip(writes[:warm], addrs[:warm]):
-                if w:
-                    writeback(a)
-                else:
-                    read(a)
-
-        cache.stats = CacheStats()  # measurement window starts here
-        phase_observer = None
-        if epoch is not None and hasattr(cache, "add_observer"):
-            phase_observer = PhaseMetrics(epoch, sink=phase_sink)
-            cache.add_observer(phase_observer)
-        try:
-            if use_split:
-                if run_stream is not None:
-                    run_stream(writes, sets, tags, addrs, warm, n)
-                else:
-                    for w, s, t, a in zip(
-                        writes[warm:], sets[warm:], tags[warm:], addrs[warm:]
-                    ):
-                        if w:
-                            writeback_split(s, t, a)
-                        else:
-                            read_split(s, t, a)
-            else:
-                for w, a in zip(writes[warm:], addrs[warm:]):
-                    if w:
-                        writeback(a)
-                    else:
-                        read(a)
-        finally:
-            if phase_observer is not None:
-                cache.remove_observer(phase_observer)
-        phases = phase_observer.result() if phase_observer is not None else None
+        eng = resolve_engine(
+            cache, requested=engine, strict=engine_strict, design=self.design
+        )
+        stream = TraceStream(trace, cache.geometry)
+        segments = serial_segments(trace, warm, epoch)
+        phases = eng.drive(
+            cache, stream, warm, segments, epoch, phase_sink=phase_sink
+        )
 
         stats = cache.stats
         instructions = stats.demand_reads * trace.instructions_per_access

@@ -152,3 +152,51 @@ def mix64(value: int) -> int:
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
     return z ^ (z >> 31)
+
+
+# -- vectorized counterparts (numpy) ----------------------------------------
+#
+# The vector simulation engine (repro.sim.engines.vector) replays the
+# per-set counter-based streams of SetLocalRng as whole-array numpy
+# operations. These helpers are the array forms of mix64 / the stream
+# seeding / the draw formula above; the scalar and vectorized paths are
+# asserted bit-identical by the test suite. All arithmetic is uint64
+# with silent wraparound (numpy's native behavior), matching the
+# ``& _MASK64`` masking of the scalar code.
+
+
+def mix64_array(values):
+    """Vectorized :func:`mix64` over a uint64 numpy array."""
+    import numpy as np
+
+    z = (values + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def set_stream_seeds(base: int, set_indices):
+    """Vectorized per-set stream seeds of :class:`SetLocalRng`.
+
+    ``base`` is the generator's ``_base``; ``set_indices`` is an integer
+    numpy array. Element *i* equals the scalar
+    ``mix64(base ^ (set_indices[i] * _STREAM_MULT & MASK64))``.
+    """
+    import numpy as np
+
+    sets = set_indices.astype(np.uint64, copy=False)
+    mixed = np.uint64(base) ^ (sets * np.uint64(SetLocalRng._STREAM_MULT))
+    return mix64_array(mixed)
+
+
+def stream_draws(seeds, counts):
+    """Vectorized *n*-th draw of per-set streams: ``mix64(seed + n)``.
+
+    ``seeds`` are per-element stream seeds (:func:`set_stream_seeds`);
+    ``counts`` the 0-based draw ordinals. Returns the same uint64 values
+    :meth:`SetLocalRng.next_u64` would produce on its ``counts[i]``-th
+    call for that set.
+    """
+    import numpy as np
+
+    return mix64_array(seeds + counts.astype(np.uint64, copy=False))

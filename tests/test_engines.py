@@ -1,0 +1,292 @@
+"""Engine-layer equivalence and resolver contract.
+
+The drive path is pluggable (:mod:`repro.sim.engines`): the per-address
+reference loop, the batched ``run_stream`` loop, and the whole-trace
+vectorized numpy kernel are three implementations of one specification.
+The matrix below pins all of them bit-identical — ``CacheStats``, the
+whole ``RunResult`` and the phase series — for every benchmark design
+variant, serial and set-sharded, on randomized traces. That equivalence
+is what licenses excluding the engine from :meth:`JobKey.canonical`:
+a result computed under any engine satisfies the same key.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.accord import AccordDesign
+from repro.core.protocols import ensure_policy_conformance
+from repro.core.sws import SkewedWaySteering
+from repro.errors import ConfigError, SimulationError
+from repro.exec.jobs import JobKey
+from repro.params.system import scaled_system
+from repro.sim.bench import BENCH_DESIGNS
+from repro.sim.engines import (
+    ENGINE_NAMES,
+    ENGINES,
+    TraceStream,
+    get_engine,
+    resolve_engine,
+    serial_segments,
+)
+from repro.sim.shard import run_sharded
+from repro.sim.system import Simulator, build_dram_cache
+from repro.sim.trace import Trace
+from repro.utils.rng import XorShift64
+
+SCALE = 1.0 / 2048.0
+EPOCH = 500
+
+
+def random_trace(seed: int, n: int = 3000, footprint_lines: int = 700) -> Trace:
+    """Randomized mixed read/write trace over a small footprint."""
+    rng = XorShift64(seed)
+    addrs = []
+    writes = bytearray()
+    for _ in range(n):
+        addrs.append(rng.next_below(footprint_lines) * 64)
+        writes.append(1 if rng.next_below(4) == 0 else 0)
+    return Trace(f"random-{seed}", addrs, writes, instructions_per_access=40.0)
+
+
+def _design_id(design):
+    return design.display_name.replace(" ", "_")
+
+
+@pytest.fixture(scope="module")
+def trace():
+    t = random_trace(310)
+    assert any(t.writes) and not all(t.writes)
+    return t
+
+
+@pytest.fixture(scope="module")
+def loop_reference(trace):
+    """Per-design loop-engine serial results, computed once (with phases)."""
+    memo = {}
+
+    def get(design):
+        key = design.display_name
+        if key not in memo:
+            config = scaled_system(ways=design.ways, scale=SCALE)
+            memo[key] = Simulator(config, design, seed=5).run(
+                trace, warmup_fraction=0.3, epoch=EPOCH, engine="loop"
+            ).to_dict()
+        return memo[key]
+
+    return get
+
+
+class TestEngineEquivalenceMatrix:
+    """16 designs x {loop, stream, vector} x serial/sharded, one result.
+
+    Unsupported explicit requests fall down the chain (with a warning we
+    silence here), so every cell is still a valid exactness check: the
+    engine that actually ran must reproduce the reference loop.
+    """
+
+    @pytest.mark.parametrize("engine", ["stream", "vector"])
+    @pytest.mark.parametrize("design", BENCH_DESIGNS, ids=_design_id)
+    def test_serial_engines_match_loop(self, design, engine, trace,
+                                       loop_reference):
+        config = scaled_system(ways=design.ways, scale=SCALE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = Simulator(config, design, seed=5).run(
+                trace, warmup_fraction=0.3, epoch=EPOCH, engine=engine
+            )
+        assert result.to_dict() == loop_reference(design)
+
+    @pytest.mark.parametrize("engine", ["loop", "stream", "vector"])
+    @pytest.mark.parametrize("design", BENCH_DESIGNS, ids=_design_id)
+    def test_sharded_engines_match_loop(self, design, engine, trace,
+                                        loop_reference):
+        config = scaled_system(ways=design.ways, scale=SCALE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = run_sharded(
+                config, design, trace, warmup=0.3, epoch=EPOCH,
+                shards=3, seed=5, inline=True, engine=engine,
+            )
+        assert result.to_dict() == loop_reference(design)
+
+
+def _drive(cache, trace, engine_name, warm_frac=0.3, epoch=None):
+    """Drive a hand-assembled cache with one engine; return its outputs."""
+    engine = get_engine(engine_name)
+    assert engine.supports(cache)
+    warm = int(len(trace) * warm_frac)
+    stream = TraceStream(trace, cache.geometry)
+    segments = serial_segments(trace, warm, epoch)
+    phases = engine.drive(cache, stream, warm, segments, epoch)
+    return (
+        cache.stats.to_dict(),
+        phases.to_dict() if phases is not None else None,
+    )
+
+
+class TestVectorProperties:
+    """Property checks against the reference loop on randomized traces."""
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    @pytest.mark.parametrize("warm", [0.0, 0.3, 0.8])
+    def test_random_traces_and_warmups(self, seed, warm):
+        design = AccordDesign(kind="pws", ways=2)
+        config = scaled_system(ways=2, scale=SCALE)
+        trace = random_trace(seed, n=2000)
+        vec = Simulator(config, design, seed=seed).run(
+            trace, warmup_fraction=warm, epoch=333, engine="vector"
+        )
+        ref = Simulator(config, design, seed=seed).run(
+            trace, warmup_fraction=warm, epoch=333, engine="loop"
+        )
+        assert vec.to_dict() == ref.to_dict()
+
+    @pytest.mark.parametrize("dcp", ["none", "exact"])
+    @pytest.mark.parametrize("kind", ["serial", "mru", "partial_tag"])
+    def test_dcp_modes(self, kind, dcp, trace):
+        """No DCP at all (modelled writeback probes) stays exact too."""
+        design = AccordDesign(kind=kind, ways=2, dcp=dcp)
+        config = scaled_system(ways=2, scale=SCALE)
+        vec = Simulator(config, design, seed=5).run(
+            trace, warmup_fraction=0.3, engine="vector"
+        )
+        ref = Simulator(config, design, seed=5).run(
+            trace, warmup_fraction=0.3, engine="loop"
+        )
+        assert vec.to_dict() == ref.to_dict()
+
+    @pytest.mark.parametrize("hashes", [1, 2, 4])
+    def test_standalone_sws_steering(self, hashes, trace):
+        """SWS without the GWS wrapper is vectorizable and exact."""
+        design = AccordDesign(kind="serial", ways=8)
+        config = scaled_system(ways=8, scale=SCALE)
+        outs = []
+        for engine_name in ("vector", "loop"):
+            cache = build_dram_cache(design, config, seed=9)
+            cache.steering = SkewedWaySteering(
+                cache.geometry, hashes=hashes, pip=0.9, rng=XorShift64(123)
+            )
+            ensure_policy_conformance(cache)
+            outs.append(_drive(cache, trace, engine_name, epoch=400))
+        assert outs[0] == outs[1]
+
+    def test_finite_dcp_is_not_vectorizable(self, trace):
+        """The finite directory is stateful in a way the kernel does not
+        replay; the resolver must not hand such a cache to vector."""
+        design = AccordDesign(kind="serial", ways=2, dcp="finite")
+        config = scaled_system(ways=2, scale=SCALE)
+        cache = build_dram_cache(design, config, seed=5)
+        assert not ENGINES["vector"].supports(cache)
+
+
+class TestResolver:
+    def _cache(self, design):
+        config = scaled_system(ways=design.ways, scale=SCALE)
+        return build_dram_cache(
+            design, config, seed=5
+        ), design
+
+    def test_auto_picks_fastest_supported(self):
+        for kind, expected in (("pws", "vector"), ("gws", "stream"),
+                               ("ca", "loop")):
+            design = AccordDesign(kind=kind, ways=1 if kind == "ca" else 2)
+            cache, _ = self._cache(design)
+            assert resolve_engine(cache, design=design).name == expected
+
+    def test_explicit_supported_request_is_honored(self):
+        cache, design = self._cache(AccordDesign(kind="pws", ways=2))
+        for name in ("vector", "stream", "loop"):
+            assert resolve_engine(cache, requested=name,
+                                  design=design).name == name
+
+    def test_unsupported_request_falls_back_with_one_warning(self):
+        from repro.sim.engines import _ENGINE_FALLBACK_WARNED
+
+        _ENGINE_FALLBACK_WARNED.clear()
+        cache, design = self._cache(AccordDesign(kind="gws", ways=2))
+        with pytest.warns(RuntimeWarning, match="--engine vector ignored"):
+            engine = resolve_engine(cache, requested="vector", design=design)
+        assert engine.name == "stream"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            assert resolve_engine(
+                cache, requested="vector", design=design
+            ).name == "stream"
+
+    def test_strict_raises_instead_of_falling_back(self):
+        cache, design = self._cache(AccordDesign(kind="gws", ways=2))
+        with pytest.raises(SimulationError, match="engine-strict"):
+            resolve_engine(cache, requested="vector", strict=True,
+                           design=design)
+
+    def test_simulator_honors_strict(self, trace):
+        config = scaled_system(ways=2, scale=SCALE)
+        simulator = Simulator(config, AccordDesign(kind="gws", ways=2), seed=5)
+        with pytest.raises(SimulationError, match="engine-strict"):
+            simulator.run(trace, engine="vector", engine_strict=True)
+
+    def test_unknown_names_are_rejected(self):
+        cache, _ = self._cache(AccordDesign(kind="pws", ways=2))
+        with pytest.raises(SimulationError, match="unknown engine"):
+            resolve_engine(cache, requested="warp")
+        with pytest.raises(SimulationError, match="unknown engine"):
+            get_engine("warp")
+        with pytest.raises(SimulationError, match="unknown engine"):
+            get_engine("auto")  # registry holds concrete engines only
+
+    def test_observer_disables_vector(self, trace):
+        """An attached observer must force a non-vector engine (the
+        kernel emits no events); results still match the loop."""
+        from repro.cache.events import StatsObserver
+
+        design = AccordDesign(kind="pws", ways=2)
+        config = scaled_system(ways=2, scale=SCALE)
+        simulator = Simulator(config, design, seed=5)
+        simulator.cache.add_observer(StatsObserver())
+        assert not ENGINES["vector"].supports(simulator.cache)
+
+    def test_repeat_runs_are_independent(self, trace):
+        """Simulator.run twice = two fresh caches, not cumulative state
+        (the vector kernel replays build-time defaults, so the contract
+        is enforced for every engine)."""
+        design = AccordDesign(kind="pws", ways=2)
+        config = scaled_system(ways=2, scale=SCALE)
+        simulator = Simulator(config, design, seed=5)
+        first = simulator.run(trace, warmup_fraction=0.3, engine="vector")
+        second = simulator.run(trace, warmup_fraction=0.3, engine="vector")
+        fresh = Simulator(config, design, seed=5).run(
+            trace, warmup_fraction=0.3, engine="loop"
+        )
+        assert first.to_dict() == second.to_dict() == fresh.to_dict()
+
+
+class TestJobKeyEngine:
+    KEY_ARGS = dict(
+        design=AccordDesign(kind="pws", ways=2),
+        workload="soplex",
+        num_accesses=1000,
+    )
+
+    def test_engine_never_forks_the_memo_space(self):
+        keys = [JobKey(engine=name, **self.KEY_ARGS) for name in ENGINE_NAMES]
+        assert len({key.digest() for key in keys}) == 1
+        assert all("engine" not in key.canonical() for key in keys)
+
+    def test_engine_is_validated(self):
+        with pytest.raises(ConfigError, match="unknown engine"):
+            JobKey(engine="warp", **self.KEY_ARGS)
+
+    def test_jobspec_engine_field(self):
+        from repro.service.jobspec import expand_spec
+
+        keys, _, _ = expand_spec(
+            {"designs": "pws:2", "quick": True, "engine": "vector"}
+        )
+        assert {key.engine for key in keys} == {"vector"}
+        base, _, _ = expand_spec({"designs": "pws:2", "quick": True})
+        assert [k.digest() for k in keys] == [k.digest() for k in base]
+        with pytest.raises(ConfigError, match="unknown engine"):
+            expand_spec({"designs": "pws:2", "engine": "warp"})
+        with pytest.raises(ConfigError, match="must be a string"):
+            expand_spec({"designs": "pws:2", "engine": 3})
