@@ -656,7 +656,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                      "to attribute where a sharded run's "
                                      "wall-clock goes (default: off)")
     profile_parser.add_argument("--engine", default="stream",
-                                choices=("auto", "vector", "stream", "loop"),
+                                choices=("auto", "vector", "replay", "stream", "loop"),
                                 help="drive engine the shard attribution is "
                                      "timed under (default stream, the shard "
                                      "workers' batched loop)")
@@ -696,7 +696,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="run the bench at shards=1 and --shards N "
                                    "and report the speedup (BENCH_shard.json)")
     bench_parser.add_argument("--engine", default="auto",
-                              choices=("auto", "vector", "stream", "loop"),
+                              choices=("auto", "vector", "replay", "stream", "loop"),
                               help="drive engine to benchmark; designs the "
                                    "engine cannot drive exactly fall back "
                                    "down the chain (default auto)")
@@ -760,7 +760,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     submit_parser.add_argument("--quick", action="store_true",
                                help="small suite and short traces")
     submit_parser.add_argument("--engine", default=None,
-                               choices=("auto", "vector", "stream", "loop"),
+                               choices=("auto", "vector", "replay", "stream", "loop"),
                                help="drive engine request forwarded to the "
                                     "service (results are engine-invariant)")
     submit_parser.add_argument("--epoch-metrics", type=int, default=None,

@@ -91,6 +91,10 @@ class GangedWaySteering(InstallSteering):
     # traffic; splitting by set range changes their contents, so GWS
     # must run on the serial path (cache_is_shardable -> False).
     shardable = False
+    # The table updates themselves are a sparse event stream the replay
+    # engine reproduces exactly (lookup = LRU refresh, record = insert
+    # + evict-oldest), so GWS opts into sparse-replay execution.
+    replay_vectorizable = True
 
     def __init__(
         self,
@@ -153,6 +157,10 @@ class GangedWayPredictor(WayPredictor):
     # traffic; splitting by set range changes their contents, so GWS
     # must run on the serial path (cache_is_shardable -> False).
     shardable = False
+    # The table updates themselves are a sparse event stream the replay
+    # engine reproduces exactly (lookup = LRU refresh, record = insert
+    # + evict-oldest), so GWS opts into sparse-replay execution.
+    replay_vectorizable = True
 
     def __init__(
         self,

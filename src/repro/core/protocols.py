@@ -229,6 +229,58 @@ def cache_is_vectorizable(cache) -> bool:
     return not unvectorizable_roles(cache)
 
 
+def policy_is_replay_vectorizable(policy) -> bool:
+    """The ``replay_vectorizable`` capability of one policy.
+
+    ``replay_vectorizable = True`` declares that the policy's dense
+    per-access math (candidate sets, probe order, hashed preferences,
+    per-set counter-based random draws) is a pure precomputable
+    function, while its *global* mutable state — if any — is touched
+    only through the small event set the sparse-replay engine
+    (:class:`repro.sim.engines.SparseReplayEngine`) replays in trace
+    order: region-table lookups/records (GWS RIT/RLT), PSEL votes
+    (set-dueling), and cross-set displacements (the CA cache).
+
+    Every ``vectorizable`` policy is trivially replay-vectorizable (no
+    global state to replay at all), so the capability is implied rather
+    than re-declared. Only policies that are *not* set-local need the
+    explicit attribute; the default for undeclared global-state
+    policies stays False, keeping them on the exact per-access paths.
+    """
+    if policy is None:
+        return True
+    if getattr(policy, "replay_vectorizable", False):
+        return True
+    return bool(getattr(policy, "vectorizable", False))
+
+
+def unreplayable_roles(cache) -> list:
+    """Names of the cache's policy roles that block sparse-replay.
+
+    Empty list means every role opted in (the replay engine may still
+    decline for structural reasons, e.g. an unprefilled store or a
+    policy stack outside its kernels). A cache without an
+    ``AccessPath`` may opt in *as a whole* by declaring
+    ``replay_vectorizable`` on the cache class (the column-associative
+    model does); otherwise it is the single ``"cache"`` pseudo-role,
+    as in :func:`unshardable_roles`.
+    """
+    if getattr(cache, "path", None) is None:
+        if getattr(cache, "replay_vectorizable", False):
+            return []
+        return ["cache"]
+    return [
+        role
+        for role in _SHARD_ROLES
+        if not policy_is_replay_vectorizable(getattr(cache, role, None))
+    ]
+
+
+def cache_is_replay_vectorizable(cache) -> bool:
+    """True when every role of ``cache`` admits sparse-replay execution."""
+    return not unreplayable_roles(cache)
+
+
 def ensure_policy_conformance(cache) -> None:
     """Validate a cache's policies against the protocols.
 
@@ -300,4 +352,7 @@ __all__ = [
     "policy_is_vectorizable",
     "unvectorizable_roles",
     "cache_is_vectorizable",
+    "policy_is_replay_vectorizable",
+    "unreplayable_roles",
+    "cache_is_replay_vectorizable",
 ]

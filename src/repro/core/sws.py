@@ -99,6 +99,10 @@ class SkewedWaySteering(InstallSteering):
     # for the vector engine to replay as whole-array ops.
     shardable = True
     vectorizable = True
+    # Implied by vectorizable, declared for symmetry with the GWS
+    # wrapper that embeds SWS as its install fallback: the candidate
+    # matrix precomputes and the install coin replays per set.
+    replay_vectorizable = True
 
     def __init__(
         self,

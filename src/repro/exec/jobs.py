@@ -173,7 +173,14 @@ def plan_shards(key: JobKey, shards: int) -> int:
     never sharded silently wrong), and a shardable one gets at most one
     shard per cache set. Memoized: a 16-design sweep probes each design
     once, not once per workload.
+
+    Also the parent-side home of the engine-fallback warning: workers
+    suppress it (warn-once state is per-process, so N workers would
+    each print a copy), so an explicitly requested engine is resolved
+    here, in the planning process, exactly once per design.
     """
+    if key.engine != "auto":
+        _shard_engine(key)  # parent-side resolve; fallback warns here
     if shards <= 1:
         return 1
     from repro.core.protocols import cache_is_shardable

@@ -120,6 +120,7 @@ def run_bench(
     rows: List[Dict[str, Any]] = []
     total_accesses = 0
     total_time = 0.0
+    engine_totals: Dict[str, List[float]] = {}
     for design in designs:
         config = scaled_system(ways=design.ways, scale=scale)
         probe = build_dram_cache(design, config, seed=seed)
@@ -175,6 +176,9 @@ def run_bench(
         )
         total_accesses += len(trace)
         total_time += best
+        bucket = engine_totals.setdefault(engine_name, [0, 0.0])
+        bucket[0] += len(trace)
+        bucket[1] += best
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "workload": workload,
@@ -187,6 +191,14 @@ def run_bench(
         "engine": engine,
         "designs": rows,
         "aggregate_accesses_per_sec": total_accesses / total_time,
+        # Sub-aggregates keyed by the engine that actually ran, so a
+        # regression on one path cannot hide behind gains on another
+        # in the single mixed aggregate (compare_to_baseline gates
+        # each sub-aggregate when both reports carry them).
+        "per_engine_accesses_per_sec": {
+            name: accesses / elapsed
+            for name, (accesses, elapsed) in sorted(engine_totals.items())
+        },
     }
 
 
@@ -197,14 +209,17 @@ def format_report(report: Dict[str, Any]) -> str:
         f"{report['num_accesses']} accesses, "
         f"best of {report['repeats']} (seed {report['seed']})",
         "",
-        f"  {'design':<20} {'acc/s':>12} {'hit rate':>9}",
+        f"  {'design':<20} {'engine':>7} {'acc/s':>12} {'hit rate':>9}",
     ]
     for row in report["designs"]:
         lines.append(
-            f"  {row['design']:<20} {row['accesses_per_sec']:>12,.0f} "
+            f"  {row['design']:<20} {row.get('engine', '-'):>7} "
+            f"{row['accesses_per_sec']:>12,.0f} "
             f"{row['hit_rate']:>9.3f}"
         )
     lines.append("")
+    for name, agg in report.get("per_engine_accesses_per_sec", {}).items():
+        lines.append(f"  {name:>9}: {agg:,.0f} accesses/sec")
     lines.append(
         f"  aggregate: {report['aggregate_accesses_per_sec']:,.0f} accesses/sec"
     )
@@ -351,9 +366,15 @@ def compare_to_baseline(
 ) -> Optional[str]:
     """None if ``report`` is within tolerance of ``baseline``, else why.
 
-    The gate is on the aggregate: per-design numbers on small traces are
+    The gate is on aggregates: per-design numbers on small traces are
     too noisy to gate individually. ``max_regression`` is a fraction
     (0.30 = fail when aggregate throughput drops more than 30%).
+
+    When both reports carry ``per_engine_accesses_per_sec``, every
+    engine present in both is gated at the same tolerance — one mixed
+    aggregate would let a large vector-path gain mask a stream- or
+    replay-path collapse. Engines present on one side only (coverage
+    moved between engines) are judged by the total alone.
     """
     current = float(report["aggregate_accesses_per_sec"])
     reference = float(baseline["aggregate_accesses_per_sec"])
@@ -364,4 +385,16 @@ def compare_to_baseline(
             f"baseline {reference:,.0f} acc/s "
             f"(floor {floor:,.0f} at {max_regression:.0%} tolerance)"
         )
+    ours = report.get("per_engine_accesses_per_sec") or {}
+    theirs = baseline.get("per_engine_accesses_per_sec") or {}
+    for name in sorted(set(ours) & set(theirs)):
+        current = float(ours[name])
+        reference = float(theirs[name])
+        floor = reference * (1.0 - max_regression)
+        if current < floor:
+            return (
+                f"{name}-engine throughput regressed: {current:,.0f} acc/s "
+                f"vs baseline {reference:,.0f} acc/s "
+                f"(floor {floor:,.0f} at {max_regression:.0%} tolerance)"
+            )
     return None

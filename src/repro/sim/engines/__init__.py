@@ -1,11 +1,15 @@
 """Pluggable drive engines and the capability-based resolver.
 
-Three engines implement the :class:`~repro.sim.engines.base.Engine`
+Four engines implement the :class:`~repro.sim.engines.base.Engine`
 contract, ordered fastest-first:
 
 * ``vector`` — whole-trace numpy kernel; deterministic set-local
   designs only (every policy declares ``vectorizable``, plus the
   structural checks in :mod:`repro.sim.engines.vector`).
+* ``replay`` — vectorized precompute around a fused scalar replay of
+  the sparse global-state events; the GWS/ACCORD/dueling stacks and
+  the column-associative cache (``replay_vectorizable`` capability
+  plus the structural checks in :mod:`repro.sim.engines.replay`).
 * ``stream`` — the batched ``run_stream`` hot loop; any cache with an
   access path.
 * ``loop`` — the per-address reference loop; every cache.
@@ -25,25 +29,27 @@ from __future__ import annotations
 import warnings
 from typing import Optional, Tuple
 
-from repro.core.protocols import unvectorizable_roles
+from repro.core.protocols import unreplayable_roles, unvectorizable_roles
 from repro.errors import SimulationError
 from repro.sim.engines.base import Engine, Segment, TraceStream, serial_segments
 from repro.sim.engines.loop import PerAccessEngine
+from repro.sim.engines.replay import SparseReplayEngine
 from repro.sim.engines.stream import StreamEngine
 from repro.sim.engines.vector import VectorEngine
 
 #: Accepted ``--engine`` values, resolver preference order after "auto".
-ENGINE_NAMES: Tuple[str, ...] = ("auto", "vector", "stream", "loop")
+ENGINE_NAMES: Tuple[str, ...] = ("auto", "vector", "replay", "stream", "loop")
 
 ENGINES = {
     "vector": VectorEngine(),
+    "replay": SparseReplayEngine(),
     "stream": StreamEngine(),
     "loop": PerAccessEngine(),
 }
 
 #: Fallback chain: an unsupported explicit request degrades in this
 #: order until an engine supports the cache (loop always does).
-_CHAIN = ("vector", "stream", "loop")
+_CHAIN = ("vector", "replay", "stream", "loop")
 
 _ENGINE_FALLBACK_WARNED: set = set()
 
@@ -59,9 +65,18 @@ def get_engine(name: str) -> Engine:
 
 
 def warn_engine_fallback(design, cache, requested: str, fallback: str) -> None:
-    """One-time warning that an explicit engine request was downgraded."""
+    """One-time warning that an explicit engine request was downgraded.
+
+    Inside shard/job pool workers the warning is suppressed entirely:
+    warn-once state is per-process, so N workers would each print their
+    own copy. The parent resolves (and warns) once when it plans the
+    run — see :func:`repro.sim.shard.run_sharded` and
+    :func:`repro.exec.jobs.plan_shards`.
+    """
     if requested == "vector":
         roles = tuple(unvectorizable_roles(cache)) or ("cache",)
+    elif requested == "replay":
+        roles = tuple(unreplayable_roles(cache)) or ("cache",)
     else:
         roles = ("cache",)
     if design is not None:
@@ -73,6 +88,10 @@ def warn_engine_fallback(design, cache, requested: str, fallback: str) -> None:
     if key in _ENGINE_FALLBACK_WARNED:
         return
     _ENGINE_FALLBACK_WARNED.add(key)
+    from repro.sim.shard import in_worker_process  # deferred: shard imports us
+
+    if in_worker_process():
+        return
     warnings.warn(
         f"design {label!r} has non-vectorizable policy state "
         f"({', '.join(roles)}); --engine {requested} ignored, running "
@@ -93,7 +112,7 @@ def resolve_engine(
     ``auto`` returns the fastest supported engine, silently. An explicit
     request is honored when supported; otherwise ``strict`` raises
     :class:`SimulationError`, and the default falls down the chain
-    (vector → stream → loop) with a one-time
+    (vector → replay → stream → loop) with a one-time
     :func:`warn_engine_fallback` warning.
     """
     if requested not in ENGINE_NAMES:
@@ -129,6 +148,7 @@ __all__ = [
     "Engine",
     "PerAccessEngine",
     "Segment",
+    "SparseReplayEngine",
     "StreamEngine",
     "TraceStream",
     "VectorEngine",

@@ -348,12 +348,19 @@ _FALLBACK_WARNED: set = set()
 
 
 def warn_serial_fallback(design: AccordDesign, cache) -> None:
-    """One-time-per-design warning that sharding fell back to serial."""
+    """One-time-per-design warning that sharding fell back to serial.
+
+    Suppressed inside pool workers (warn-once state is per-process);
+    the parent warns when it plans, see
+    :func:`repro.exec.jobs.plan_shards`.
+    """
     roles = tuple(unshardable_roles(cache))
     key = (design.kind, design.ways, design.hashes, roles)
     if key in _FALLBACK_WARNED:
         return
     _FALLBACK_WARNED.add(key)
+    if in_worker_process():
+        return
     label = design.label or design.kind
     warnings.warn(
         f"design {label!r} has global policy state "

@@ -78,14 +78,14 @@ def loop_reference(trace):
 
 
 class TestEngineEquivalenceMatrix:
-    """16 designs x {loop, stream, vector} x serial/sharded, one result.
+    """16 designs x {loop, stream, vector, replay} x serial/sharded.
 
     Unsupported explicit requests fall down the chain (with a warning we
     silence here), so every cell is still a valid exactness check: the
     engine that actually ran must reproduce the reference loop.
     """
 
-    @pytest.mark.parametrize("engine", ["stream", "vector"])
+    @pytest.mark.parametrize("engine", ["stream", "vector", "replay"])
     @pytest.mark.parametrize("design", BENCH_DESIGNS, ids=_design_id)
     def test_serial_engines_match_loop(self, design, engine, trace,
                                        loop_reference):
@@ -97,7 +97,7 @@ class TestEngineEquivalenceMatrix:
             )
         assert result.to_dict() == loop_reference(design)
 
-    @pytest.mark.parametrize("engine", ["loop", "stream", "vector"])
+    @pytest.mark.parametrize("engine", ["loop", "stream", "vector", "replay"])
     @pytest.mark.parametrize("design", BENCH_DESIGNS, ids=_design_id)
     def test_sharded_engines_match_loop(self, design, engine, trace,
                                         loop_reference):
@@ -178,6 +178,113 @@ class TestVectorProperties:
         config = scaled_system(ways=2, scale=SCALE)
         cache = build_dram_cache(design, config, seed=5)
         assert not ENGINES["vector"].supports(cache)
+        assert not ENGINES["replay"].supports(cache)
+
+
+class TestReplayProperties:
+    """Randomized global-state configs: replay == reference loop.
+
+    The equivalence matrix pins the 16 benchmark variants; these
+    configs vary everything the replay kernels parameterize — region
+    table sizes and granularities, install-coin biases, way counts,
+    hash counts (including the degenerate single-hash row that skips
+    the coin entirely), and both DCP modes (exact directory vs modelled
+    writeback probes) — on randomized traces, phases included.
+    """
+
+    CONFIGS = [
+        AccordDesign(kind="gws", ways=2, rit_entries=8, rlt_entries=8,
+                     region_size=1024),
+        AccordDesign(kind="gws", ways=2, dcp="none"),
+        AccordDesign(kind="accord", ways=2, pip=0.5, region_size=1024,
+                     rit_entries=16),
+        AccordDesign(kind="accord", ways=2, dcp="none", pip=0.99),
+        AccordDesign(kind="accord", ways=4, rit_entries=4, rlt_entries=128,
+                     region_size=512),
+        AccordDesign(kind="sws", ways=8, hashes=3, pip=0.7, dcp="none",
+                     rit_entries=8),
+        AccordDesign(kind="sws", ways=8, hashes=1),
+        AccordDesign(kind="dueling", ways=2, rit_entries=8),
+        AccordDesign(kind="dueling", ways=4, dcp="none", region_size=1024),
+    ]
+
+    @pytest.mark.parametrize("seed", [21, 22])
+    @pytest.mark.parametrize("design", CONFIGS, ids=_design_id)
+    def test_randomized_configs_match_loop(self, design, seed):
+        config = scaled_system(ways=design.ways, scale=SCALE)
+        trace = random_trace(seed * 7 + 1, n=2500)
+        cache = build_dram_cache(design, config, seed=seed)
+        assert ENGINES["replay"].supports(cache)
+        rep = Simulator(config, design, seed=seed).run(
+            trace, warmup_fraction=0.25, epoch=400, engine="replay"
+        )
+        ref = Simulator(config, design, seed=seed).run(
+            trace, warmup_fraction=0.25, epoch=400, engine="loop"
+        )
+        assert rep.to_dict() == ref.to_dict()
+
+    def test_replay_requires_fresh_tables(self, trace):
+        """A cache whose region tables already hold entries cannot be
+        replayed from build-time defaults; supports() must decline."""
+        design = AccordDesign(kind="accord", ways=2)
+        config = scaled_system(ways=2, scale=SCALE)
+        cache = build_dram_cache(design, config, seed=5)
+        assert ENGINES["replay"].supports(cache)
+        cache.steering.rit.record(0, 1)
+        assert not ENGINES["replay"].supports(cache)
+
+
+class TestTracePlanCache:
+    """The vector engine's weakref-keyed stream-array plan cache."""
+
+    def test_plans_reused_across_runs(self):
+        from repro.sim.engines.vector import _TRACE_PLANS
+
+        design = AccordDesign(kind="pws", ways=2)
+        config = scaled_system(ways=2, scale=SCALE)
+        trace = random_trace(401, n=1500)
+        simulator = Simulator(config, design, seed=5)
+        first = simulator.run(trace, warmup_fraction=0.3, engine="vector")
+        entry = _TRACE_PLANS.get(id(trace))
+        assert entry is not None
+        plans = entry[1]
+        assert len(plans) == 1
+        cached = next(iter(plans.values()))
+        second = simulator.run(trace, warmup_fraction=0.3, engine="vector")
+        assert _TRACE_PLANS[id(trace)][1] is plans
+        assert next(iter(plans.values())) is cached  # reused, not rebuilt
+        assert first.to_dict() == second.to_dict()
+
+    def test_replay_engine_shares_the_plan_cache(self):
+        """Replay precomputes through the same _stream_arrays memo, so a
+        mixed vector/replay sweep decomposes each trace once."""
+        from repro.sim.engines.vector import _TRACE_PLANS
+
+        design = AccordDesign(kind="accord", ways=2)
+        config = scaled_system(ways=2, scale=SCALE)
+        trace = random_trace(403, n=1500)
+        Simulator(config, design, seed=5).run(
+            trace, warmup_fraction=0.3, engine="replay"
+        )
+        entry = _TRACE_PLANS.get(id(trace))
+        assert entry is not None and len(entry[1]) == 1
+
+    def test_dropping_trace_releases_plan(self):
+        import gc
+
+        from repro.sim.engines.vector import _TRACE_PLANS
+
+        design = AccordDesign(kind="pws", ways=2)
+        config = scaled_system(ways=2, scale=SCALE)
+        trace = random_trace(402, n=1500)
+        Simulator(config, design, seed=5).run(
+            trace, warmup_fraction=0.3, engine="vector"
+        )
+        key = id(trace)
+        assert key in _TRACE_PLANS
+        del trace
+        gc.collect()
+        assert key not in _TRACE_PLANS  # weakref callback evicted it
 
 
 class TestResolver:
@@ -188,8 +295,8 @@ class TestResolver:
         ), design
 
     def test_auto_picks_fastest_supported(self):
-        for kind, expected in (("pws", "vector"), ("gws", "stream"),
-                               ("ca", "loop")):
+        for kind, expected in (("pws", "vector"), ("gws", "replay"),
+                               ("dueling", "replay"), ("ca", "replay")):
             design = AccordDesign(kind=kind, ways=1 if kind == "ca" else 2)
             cache, _ = self._cache(design)
             assert resolve_engine(cache, design=design).name == expected
@@ -207,12 +314,41 @@ class TestResolver:
         cache, design = self._cache(AccordDesign(kind="gws", ways=2))
         with pytest.warns(RuntimeWarning, match="--engine vector ignored"):
             engine = resolve_engine(cache, requested="vector", design=design)
-        assert engine.name == "stream"
+        assert engine.name == "replay"
         with warnings.catch_warnings():
             warnings.simplefilter("error")  # a second warning would raise
             assert resolve_engine(
                 cache, requested="vector", design=design
-            ).name == "stream"
+            ).name == "replay"
+
+    def test_replay_request_on_set_local_design_falls_to_stream(self):
+        """Replay only implements the global-state stacks; a set-local
+        design degrades past it to stream (never silently to loop)."""
+        from repro.sim.engines import _ENGINE_FALLBACK_WARNED
+
+        _ENGINE_FALLBACK_WARNED.clear()
+        cache, design = self._cache(AccordDesign(kind="pws", ways=2))
+        with pytest.warns(RuntimeWarning, match="--engine replay ignored"):
+            engine = resolve_engine(cache, requested="replay", design=design)
+        assert engine.name == "stream"
+        _ENGINE_FALLBACK_WARNED.clear()
+
+    def test_worker_processes_suppress_fallback_warning(self, monkeypatch):
+        """Warn-once state is per-process; inside pool workers the
+        warning is suppressed entirely (the parent warns at planning
+        time), so --shards N cannot print N copies."""
+        from repro.sim.engines import _ENGINE_FALLBACK_WARNED
+        from repro.sim.shard import WORKER_ENV
+
+        _ENGINE_FALLBACK_WARNED.clear()
+        cache, design = self._cache(AccordDesign(kind="gws", ways=2))
+        monkeypatch.setenv(WORKER_ENV, "1")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would raise
+            assert resolve_engine(
+                cache, requested="vector", design=design
+            ).name == "replay"
+        _ENGINE_FALLBACK_WARNED.clear()
 
     def test_strict_raises_instead_of_falling_back(self):
         cache, design = self._cache(AccordDesign(kind="gws", ways=2))
