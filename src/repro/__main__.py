@@ -11,6 +11,7 @@ Usage::
     python -m repro info                  # system configuration summary
     python -m repro serve -j 4            # long-lived sweep service (HTTP)
     python -m repro submit --designs direct,accord:2 --quick   # client
+    python -m repro audit                 # verify result-store integrity
 
 ``run`` and ``sweep`` share the executor flags: ``--jobs/-j`` fans
 simulations out over worker processes, and results are memoized in a
@@ -18,11 +19,14 @@ content-addressed store (``--results-dir``, default
 ``$REPRO_RESULTS_DIR`` or ``~/.cache/repro``; ``--no-store`` disables
 it), so re-running a sweep only simulates what changed. Resilience
 knobs (``--retries``, ``--timeout``) and the sweep journal
-(``--resume`` after a kill) are described in ``docs/robustness.md``.
+(``--resume`` after a kill) are described in ``docs/robustness.md``,
+as is the trust layer (``--verify-fraction`` shadow verification and
+the ``audit`` subcommand).
 
 Exit codes: 0 on success, :data:`EXIT_CONFIG` (2) for bad flags or
 configuration, :data:`EXIT_EXECUTION` (3) when a sweep fails while
-executing.
+executing, :data:`EXIT_VERIFICATION` (4) when verification or an audit
+finds an integrity failure that fallback cannot heal.
 """
 
 from __future__ import annotations
@@ -38,6 +42,9 @@ from repro.experiments import EXPERIMENT_MODULES
 EXIT_CONFIG = 2
 #: A sweep accepted its configuration but failed while executing.
 EXIT_EXECUTION = 3
+#: Shadow verification caught an unhealable mismatch, or an audit
+#: found integrity failures (digest or recompute mismatches).
+EXIT_VERIFICATION = 4
 
 _DESCRIPTIONS = {
     "fig1_associativity": "Fig 1: hit-rate & speedup vs associativity",
@@ -217,7 +224,12 @@ def _cmd_sweep(args: argparse.Namespace,
     from pathlib import Path
 
     from repro.analysis.export import save_series_csv
-    from repro.errors import ConfigError, JournalError, ReproError
+    from repro.errors import (
+        ConfigError,
+        JournalError,
+        ReproError,
+        VerificationError,
+    )
     from repro.exec import (
         FAULT_PLAN_ENV,
         JobKey,
@@ -326,6 +338,12 @@ def _cmd_sweep(args: argparse.Namespace,
     )
     try:
         resolved = executor.run(flat)
+    except VerificationError as exc:
+        print(f"verification failed: {exc}", file=sys.stderr)
+        if journal is not None:
+            print(f"rerun with --resume to continue from {journal.path}",
+                  file=sys.stderr)
+        return EXIT_VERIFICATION
     except ReproError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         if journal is not None:
@@ -352,6 +370,10 @@ def _cmd_sweep(args: argparse.Namespace,
         line += f", {stats.transient_retries} transient retries"
     if stats.timeouts:
         line += f", {stats.timeouts} timed out"
+    if settings.verify_fraction > 0 or stats.verified or stats.mismatches:
+        line += f", {stats.verified} verified"
+    if stats.mismatches:
+        line += f", {stats.mismatches} mismatches healed"
     store = executor.store
     if store is not None and (
         store.stats.degraded_writes or store.stats.quarantined
@@ -478,6 +500,8 @@ def _cmd_serve(args: argparse.Namespace,
             rate=args.rate,
             burst=args.burst,
             resume=not args.no_resume,
+            verify_fraction=args.verify_fraction,
+            verify_engine=args.verify_engine,
         )
         asyncio.run(run_service(config))
     except ConfigError as exc:
@@ -488,6 +512,46 @@ def _cmd_serve(args: argparse.Namespace,
         print(f"service failed: {exc}", file=sys.stderr)
         return EXIT_EXECUTION
     return 0
+
+
+def _cmd_audit(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.exec.store import default_store_root
+    from repro.verify.audit import audit_store, audit_traces, format_report
+
+    if not 0.0 <= args.recompute_fraction <= 1.0:
+        parser.error("--recompute-fraction must be in [0, 1]")
+    root = Path(args.results_dir) if args.results_dir else default_store_root()
+    if not root.is_dir():
+        print(f"no result store at {root} (nothing to audit)",
+              file=sys.stderr)
+        return 0
+    try:
+        report = audit_store(
+            root,
+            recompute_fraction=args.recompute_fraction,
+            engine=args.verify_engine,
+            quarantine=not args.no_quarantine,
+        )
+        if not args.no_traces:
+            trace_root = Path(args.trace_dir) if args.trace_dir else None
+            audit_traces(report, root=trace_root,
+                         quarantine=not args.no_quarantine)
+    except ReproError as exc:
+        print(f"audit failed: {exc}", file=sys.stderr)
+        return EXIT_EXECUTION
+    print(format_report(report))
+    if args.json:
+        Path(args.json).write_text(
+            _json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.json}")
+    return EXIT_VERIFICATION if report.mismatches else 0
 
 
 def _cmd_submit(args: argparse.Namespace,
@@ -740,6 +804,46 @@ def main(argv: Optional[List[str]] = None) -> int:
                               dest="no_resume",
                               help="do not resume journaled in-flight "
                                    "batches from a previous daemon")
+    serve_parser.add_argument("--verify-fraction", type=float, default=0.0,
+                              dest="verify_fraction", metavar="F",
+                              help="shadow-verify this fraction of computed "
+                                   "jobs on the reference engine (default 0)")
+    serve_parser.add_argument("--verify-engine", default="stream",
+                              dest="verify_engine",
+                              choices=("stream", "loop"),
+                              help="reference engine for shadow verification "
+                                   "(default stream)")
+    audit_parser = sub.add_parser(
+        "audit",
+        help="verify result-store integrity (schemas, payload digests)",
+    )
+    audit_parser.add_argument("--results-dir", default=None,
+                              dest="results_dir",
+                              help="result store root to audit (default "
+                                   "$REPRO_RESULTS_DIR or ~/.cache/repro)")
+    audit_parser.add_argument("--recompute-fraction", type=float, default=0.0,
+                              dest="recompute_fraction", metavar="F",
+                              help="re-execute this fraction of entries on "
+                                   "the reference engine and compare digests "
+                                   "(default 0: digest checks only)")
+    audit_parser.add_argument("--verify-engine", default="stream",
+                              dest="verify_engine",
+                              choices=("stream", "loop"),
+                              help="reference engine for --recompute-fraction "
+                                   "(default stream)")
+    audit_parser.add_argument("--no-traces", action="store_true",
+                              dest="no_traces",
+                              help="skip the trace-cache audit")
+    audit_parser.add_argument("--trace-dir", default=None, dest="trace_dir",
+                              help="trace cache root (default "
+                                   "$REPRO_TRACE_DIR or <store>/traces)")
+    audit_parser.add_argument("--no-quarantine", action="store_true",
+                              dest="no_quarantine",
+                              help="report corrupt entries without moving "
+                                   "them to quarantine/")
+    audit_parser.add_argument("--json", default=None,
+                              help="write the audit report as JSON to "
+                                   "this path")
     submit_parser = sub.add_parser(
         "submit",
         help="submit a sweep to a running service and render the tables",
@@ -792,6 +896,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args, parser)
     if args.command == "submit":
         return _cmd_submit(args, parser)
+    if args.command == "audit":
+        return _cmd_audit(args, parser)
     passthrough: List[str] = []
     if args.accesses is not None:
         passthrough += ["--accesses", str(args.accesses)]
@@ -821,6 +927,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         passthrough += ["--engine", args.engine]
     if args.engine_strict:
         passthrough += ["--engine-strict"]
+    if args.verify_fraction:
+        passthrough += ["--verify-fraction", str(args.verify_fraction)]
+    if args.verify_engine != "stream":
+        passthrough += ["--verify-engine", args.verify_engine]
     return _cmd_run(args.names, passthrough)
 
 

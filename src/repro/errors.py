@@ -51,3 +51,15 @@ class TransientError(ReproError):
 
 class JournalError(ExecutionError):
     """A sweep journal is missing, unreadable, or corrupt."""
+
+
+class VerificationError(ReproError):
+    """Shadow verification caught a result that cannot be healed.
+
+    Raised when a sampled job's result disagrees with the reference
+    re-execution *and* no trusted engine remains to fall back to (the
+    mismatch came from the reference chain itself). Recoverable
+    mismatches never raise: the executor quarantines both payloads,
+    trips the engine circuit breaker, and records the reference result
+    instead. Maps to CLI exit code 4.
+    """

@@ -14,14 +14,26 @@
 * :mod:`repro.exec.faults` — :class:`FaultPlan`, the deterministic
   fault-injection harness (``REPRO_FAULT_PLAN``) that chaos-tests all
   of the above.
+
+The trust layer (:mod:`repro.verify`) hooks in here: results carry a
+``payload_digest`` verified by the store on read, the executor can
+shadow-verify a sample of jobs on the reference engine
+(``verify_fraction``), and a mismatch demotes the offending engine via
+the circuit breaker (which calls :func:`clear_engine_plans`).
 """
 
 from repro.exec.executor import Executor, ExecutorStats
-from repro.exec.faults import FAULT_PLAN_ENV, FaultPlan, fault_point
+from repro.exec.faults import (
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    fault_point,
+    suppressed,
+)
 from repro.exec.jobs import (
     RESULT_SCHEMA_VERSION,
     JobKey,
     ShardTask,
+    clear_engine_plans,
     execute_job,
     execute_job_sharded,
     execute_job_traced,
@@ -51,6 +63,7 @@ __all__ = [
     "ShardTask",
     "StoreStats",
     "SweepJournal",
+    "clear_engine_plans",
     "default_store_root",
     "execute_job",
     "execute_job_sharded",
@@ -61,4 +74,5 @@ __all__ = [
     "parse_design_spec",
     "plan_shards",
     "quarantine_entry",
+    "suppressed",
 ]

@@ -36,6 +36,14 @@ Failure handling distinguishes three classes:
 Results are bit-identical to a fault-free serial run: every job
 rebuilds its trace from the seeded generator, so neither scheduling,
 retries, nor process boundaries can perturb the outcome.
+
+With ``verify_fraction > 0`` a deterministic sample of executed jobs
+is additionally *shadow-verified*: each sampled result is compared (by
+:func:`~repro.verify.digest.result_digest`) against a re-execution on
+the trusted ``verify_engine``. A mismatch quarantines both payloads,
+trips the offending engine's circuit breaker
+(:mod:`repro.verify.breaker`), and heals in place by recording the
+reference result — the sweep still completes, bit-identically.
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ from repro.errors import (
     ExecutionError,
     ReproError,
     TransientError,
+    VerificationError,
 )
 from repro.exec.jobs import (
     JobKey,
@@ -84,6 +93,11 @@ from repro.sim.system import RunResult
 #: {"cached", "run", "resumed"}.
 ProgressFn = Callable[[int, int, JobKey, str], None]
 
+#: on_verify(key, outcome, detail) with outcome in {"ok", "mismatch"};
+#: detail carries the payload digests (and, on mismatch, the demoted
+#: engine). The service streams these to subscribers.
+VerifyFn = Callable[[JobKey, str, Dict[str, str]], None]
+
 #: Exceptions worth retrying: the same job may succeed on a later
 #: attempt. Everything else deterministic fails fast.
 TRANSIENT_EXCEPTIONS = (TransientError, OSError)
@@ -101,6 +115,11 @@ class ExecutorStats:
     timeouts: int = 0
     pool_breaks: int = 0
     degraded_to_serial: bool = False
+    #: Shadow-verification outcomes (``verify_fraction`` sampling):
+    #: jobs whose reference re-run agreed, and mismatches that were
+    #: quarantined + healed from the reference result.
+    verified: int = 0
+    mismatches: int = 0
 
 
 class _PoolBroken(Exception):
@@ -143,6 +162,9 @@ class Executor:
         pool_break_limit: Optional[int] = None,
         poll_interval: float = 0.2,
         shards: int = 1,
+        verify_fraction: float = 0.0,
+        verify_engine: str = "stream",
+        on_verify: Optional[VerifyFn] = None,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -150,6 +172,15 @@ class Executor:
             raise ConfigError(f"shards must be >= 1, got {shards}")
         if retries < 0:
             raise ConfigError(f"retries must be >= 0, got {retries}")
+        if not 0.0 <= verify_fraction <= 1.0:
+            raise ConfigError(
+                f"verify_fraction must be in [0, 1], got {verify_fraction}"
+            )
+        if verify_engine not in ("stream", "loop"):
+            raise ConfigError(
+                f"verify_engine must be 'stream' or 'loop', "
+                f"got {verify_engine!r}"
+            )
         if timeout is not None and timeout <= 0:
             raise ConfigError(f"timeout must be positive, got {timeout}")
         if poll_interval <= 0:
@@ -173,9 +204,13 @@ class Executor:
             )
         self._backoff = backoff if backoff is not None else BackoffPolicy()
         self._poll = poll_interval
+        self.verify_fraction = verify_fraction
+        self.verify_engine = verify_engine
+        self.on_verify = on_verify
         self.stats = ExecutorStats()
         self._forced_timeouts: Set[JobKey] = set()
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_tainted = False
         self._persistent = False
         self._lock = threading.Lock()
 
@@ -255,6 +290,14 @@ class Executor:
             if resumed is not None:
                 results[key] = resumed
                 self.stats.resumed += 1
+                if (
+                    self.journal is not None
+                    and self.journal.verify_outcome(key) == "ok"
+                ):
+                    # Carry journaled verification credit across the
+                    # kill: the resumed sweep's summary still reflects
+                    # every job the shadow check vouched for.
+                    self.stats.verified += 1
                 if self.store is not None:
                     # Replayed results are as good as executed ones:
                     # memoize them so later runs are warm without the
@@ -302,6 +345,7 @@ class Executor:
     def _record(
         self, key: JobKey, result: RunResult, results: Dict[JobKey, RunResult]
     ) -> None:
+        result = self._maybe_verify(key, result)
         results[key] = result
         self.stats.executed += 1
         if self.store is not None:
@@ -318,6 +362,96 @@ class Executor:
     def _note(self, event: str, **fields) -> None:
         if self.journal is not None:
             self.journal.record_event(event, **fields)
+
+    # -- shadow verification ----------------------------------------------
+
+    def _maybe_verify(self, key: JobKey, result: RunResult) -> RunResult:
+        """Shadow-verify a sampled executed result; returns what to trust.
+
+        A clean comparison (or an unsampled key) hands back ``result``
+        unchanged. A mismatch quarantines both payloads, trips the
+        offending engine's circuit breaker, and returns the *reference*
+        result, so the sweep heals in place and still finishes
+        bit-identically; only an unhealable mismatch — the reference
+        chain itself disagreeing — raises :class:`VerificationError`.
+        """
+        if self.verify_fraction <= 0.0:
+            return result
+        from repro.verify.shadow import should_verify
+
+        if not should_verify(key.digest(), self.verify_fraction):
+            return result
+        if (
+            self.journal is not None
+            and self.journal.verify_outcome(key) == "ok"
+        ):
+            # Already vouched for by this sweep's journal (the job was
+            # verified before a crash lost its done line): trust it.
+            self.stats.verified += 1
+            return result
+        return self._shadow_verify(key, result)
+
+    def _shadow_verify(self, key: JobKey, result: RunResult) -> RunResult:
+        from repro.verify import breaker
+        from repro.verify.digest import result_digest
+        from repro.verify.shadow import (
+            quarantine_mismatch,
+            reference_result,
+            resolve_job_engine,
+        )
+
+        if self.journal is not None:
+            self.journal.record_verify(
+                key, "sampled",
+                fraction=self.verify_fraction, engine=self.verify_engine,
+            )
+        suspect_digest = result_digest(result)
+        reference = reference_result(key, self.verify_engine)
+        reference_digest = result_digest(reference)
+        if suspect_digest == reference_digest:
+            self.stats.verified += 1
+            if self.journal is not None:
+                self.journal.record_verify(key, "ok", digest=suspect_digest)
+            if self.on_verify is not None:
+                self.on_verify(key, "ok", {"digest": suspect_digest})
+            return result
+        # Attribute the wrong answer before tripping: the trip changes
+        # what the request resolves to.
+        engine = resolve_job_engine(key)
+        self.stats.mismatches += 1
+        if self.journal is not None:
+            self.journal.record_verify(
+                key, "mismatch",
+                engine=engine, suspect=suspect_digest,
+                reference=reference_digest,
+                reference_engine=self.verify_engine,
+            )
+        if self.store is not None:
+            quarantine_mismatch(
+                self.store.root, key, engine, result, reference,
+                suspect_digest, reference_digest, self.verify_engine,
+            )
+        if self.on_verify is not None:
+            self.on_verify(key, "mismatch", {
+                "engine": engine,
+                "suspect": suspect_digest,
+                "reference": reference_digest,
+            })
+        if engine in (self.verify_engine, "loop"):
+            raise VerificationError(
+                f"{key.display}: result from engine {engine!r} disagrees "
+                f"with its own reference re-run ({suspect_digest[:12]} vs "
+                f"{reference_digest[:12]}) — no trusted engine remains"
+            )
+        breaker.trip(
+            engine,
+            reason=f"shadow verification mismatch on {key.display}",
+        )
+        # Workers forked before the trip never saw the deny list; make
+        # the next batch rebuild the pool (in-flight jobs finish on the
+        # old pool — their sampled results still get verified).
+        self._pool_tainted = True
+        return reference
 
     # -- serial path (jobs=1, single pending job, or degraded) ------------
 
@@ -510,7 +644,13 @@ class Executor:
                     self._backoff.sleep(consecutive_breaks)
         finally:
             shutil.rmtree(claims, ignore_errors=True)
-            if not self._persistent:
+            if self._pool_tainted:
+                # A verification trip happened while this pool's
+                # workers were already forked (without the deny env);
+                # retire it so the next batch resolves engines fresh.
+                self._pool_tainted = False
+                self._discard_pool(wait=True)
+            elif not self._persistent:
                 self._discard_pool(wait=True)
 
     def _drain(

@@ -8,17 +8,24 @@ production path pays nothing.
 
 Fault kinds and the sites they bind to:
 
-============== =============== ====================================
-kind           site            effect
-============== =============== ====================================
-crash          job             worker process dies (``os._exit``)
-hang           job             worker sleeps ``hang_secs`` seconds
-os_error       job             raises a transient ``OSError``
-disk_full      store.write     ``ENOSPC`` during a result-store put
-corrupt_store  store.entry     garbles the JSON just written
-disk_full_trace trace.write    ``ENOSPC`` during a trace-cache put
-truncate_trace trace.entry     truncates the ``.npz`` just written
-============== =============== ====================================
+=============== =============== ====================================
+kind            site            effect
+=============== =============== ====================================
+crash           job             worker process dies (``os._exit``)
+hang            job             worker sleeps ``hang_secs`` seconds
+os_error        job             raises a transient ``OSError``
+corrupt_result  engine.result   silently perturbs an in-memory
+                                result (a wrong answer, not an error)
+disk_full       store.write     ``ENOSPC`` during a result-store put
+corrupt_store   store.entry     garbles the JSON just written
+corrupt_payload store.entry     perturbs a counter in the JSON just
+                                written (stays valid JSON — only the
+                                payload digest can catch it)
+disk_full_why   quarantine.why  ``ENOSPC`` during a quarantine
+                                ``.why`` sidecar write
+disk_full_trace trace.write     ``ENOSPC`` during a trace-cache put
+truncate_trace  trace.entry     truncates the ``.npz`` just written
+=============== =============== ====================================
 
 ``crash`` and ``hang`` only fire inside pool worker processes — in the
 main process they would kill or stall the harness itself, which is not
@@ -48,12 +55,14 @@ from __future__ import annotations
 
 import errno
 import hashlib
+import json
 import multiprocessing
 import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError
 
@@ -62,7 +71,9 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "KIND_SITES",
+    "SITE_ENGINE_RESULT",
     "SITE_JOB",
+    "SITE_QUARANTINE_WHY",
     "SITE_STORE_ENTRY",
     "SITE_STORE_WRITE",
     "SITE_TRACE_ENTRY",
@@ -70,14 +81,17 @@ __all__ = [
     "active_plan",
     "fault_point",
     "install",
+    "suppressed",
     "uninstall",
 ]
 
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
 SITE_JOB = "job"
+SITE_ENGINE_RESULT = "engine.result"
 SITE_STORE_WRITE = "store.write"
 SITE_STORE_ENTRY = "store.entry"
+SITE_QUARANTINE_WHY = "quarantine.why"
 SITE_TRACE_WRITE = "trace.write"
 SITE_TRACE_ENTRY = "trace.entry"
 
@@ -86,8 +100,11 @@ KIND_SITES = {
     "crash": SITE_JOB,
     "hang": SITE_JOB,
     "os_error": SITE_JOB,
+    "corrupt_result": SITE_ENGINE_RESULT,
     "disk_full": SITE_STORE_WRITE,
     "corrupt_store": SITE_STORE_ENTRY,
+    "corrupt_payload": SITE_STORE_ENTRY,
+    "disk_full_why": SITE_QUARANTINE_WHY,
     "disk_full_trace": SITE_TRACE_WRITE,
     "truncate_trace": SITE_TRACE_ENTRY,
 }
@@ -217,7 +234,13 @@ class FaultPlan:
         self._local_claims[rule.kind] = count + 1
         return True
 
-    def fire(self, site: str, token: str = "", path: Optional[str] = None) -> None:
+    def fire(
+        self,
+        site: str,
+        token: str = "",
+        path: Optional[str] = None,
+        obj: Any = None,
+    ) -> None:
         """Enact at most one matching fault for this opportunity."""
         for rule in self.rules_for(site):
             if (
@@ -230,10 +253,12 @@ class FaultPlan:
             if not self._claim(rule):
                 continue
             self.fired[rule.kind] = self.fired.get(rule.kind, 0) + 1
-            self._enact(rule.kind, site, path)
+            self._enact(rule.kind, site, path, obj)
             return
 
-    def _enact(self, kind: str, site: str, path: Optional[str]) -> None:
+    def _enact(
+        self, kind: str, site: str, path: Optional[str], obj: Any = None
+    ) -> None:
         if kind == "crash":
             os._exit(3)
         elif kind == "hang":
@@ -242,10 +267,24 @@ class FaultPlan:
             raise OSError(
                 errno.EAGAIN, f"injected transient I/O error at {site}"
             )
-        elif kind in ("disk_full", "disk_full_trace"):
+        elif kind in ("disk_full", "disk_full_trace", "disk_full_why"):
             raise OSError(errno.ENOSPC, f"injected disk-full at {site}")
+        elif kind == "corrupt_result" and obj is not None:
+            # A silently wrong answer: no exception, no torn bytes —
+            # only cross-engine shadow verification can catch it.
+            obj.stats.hits += 1
         elif kind == "corrupt_store" and path is not None:
             Path(path).write_text('{"injected": "corruption', encoding="utf-8")
+        elif kind == "corrupt_payload" and path is not None:
+            # Bit-rot that keeps the JSON valid: perturb one counter in
+            # the stored record, leaving schema and key intact. Only
+            # the embedded payload digest can detect this on read.
+            record = json.loads(Path(path).read_text(encoding="utf-8"))
+            stats = record["result"]["stats"]
+            stats["hits"] = int(stats.get("hits", 0)) + 1
+            Path(path).write_text(
+                json.dumps(record, sort_keys=True), encoding="utf-8"
+            )
         elif kind == "truncate_trace" and path is not None:
             size = os.path.getsize(path)
             with open(path, "r+b") as handle:
@@ -257,6 +296,24 @@ class FaultPlan:
 _installed: Optional[FaultPlan] = None
 _env_spec: Optional[str] = None
 _env_plan: Optional[FaultPlan] = None
+_suppress_depth = 0
+
+
+@contextmanager
+def suppressed():
+    """Disable fault injection inside the block (process-wide).
+
+    Wrapped around trusted paths that must see the pristine system —
+    above all the shadow-verification reference re-execution, where an
+    injected fault would poison the very answer the suspect result is
+    being compared against.
+    """
+    global _suppress_depth
+    _suppress_depth += 1
+    try:
+        yield
+    finally:
+        _suppress_depth -= 1
 
 
 def install(plan: Optional[FaultPlan]) -> None:
@@ -275,7 +332,10 @@ def active_plan() -> Optional[FaultPlan]:
 
     The parsed plan is cached per spec string, so repeated fault points
     cost one env lookup; changing the variable takes effect immediately.
+    Inside a :func:`suppressed` block there is no active plan.
     """
+    if _suppress_depth > 0:
+        return None
     if _installed is not None:
         return _installed
     spec = os.environ.get(FAULT_PLAN_ENV)
@@ -289,8 +349,18 @@ def active_plan() -> Optional[FaultPlan]:
     return _env_plan
 
 
-def fault_point(site: str, token: str = "", path: Optional[str] = None) -> None:
-    """Give the active plan (if any) a chance to inject a fault here."""
+def fault_point(
+    site: str,
+    token: str = "",
+    path: Optional[str] = None,
+    obj: Any = None,
+) -> None:
+    """Give the active plan (if any) a chance to inject a fault here.
+
+    ``path`` names an on-disk artifact some kinds garble in place;
+    ``obj`` hands in-memory state (a just-computed result) to kinds
+    that model silent corruption rather than I/O failure.
+    """
     plan = active_plan()
     if plan is not None:
-        plan.fire(site, token, path)
+        plan.fire(site, token, path, obj)

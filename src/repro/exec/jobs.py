@@ -21,7 +21,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.core.accord import DESIGN_KINDS, AccordDesign
 from repro.errors import ConfigError
-from repro.exec.faults import SITE_JOB, fault_point
+from repro.exec.faults import SITE_ENGINE_RESULT, SITE_JOB, fault_point
 from repro.exec.resilience import complete_claim, write_claim
 from repro.params.system import scaled_system
 from repro.sim.runner import DEFAULT_WARMUP, TraceFactory, run_design
@@ -36,7 +36,11 @@ from repro.sim.system import RunResult
 #: stream, so every random-policy result changed. The sharding knob
 #: itself is deliberately *not* part of the key: sharded execution is
 #: bit-identical to serial, so both populate the same store slot.
-RESULT_SCHEMA_VERSION = 3
+#: v4: stored results carry a ``payload_digest`` (sha256 over the
+#: canonical stats + phases payload, :mod:`repro.verify.digest`) that
+#: :meth:`ResultStore.get` verifies on read — older records lack it,
+#: so they re-run rather than dodge the integrity check.
+RESULT_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -258,6 +262,18 @@ def _shard_engine(key: JobKey) -> str:
 _ENGINE_PLAN_CACHE: Dict[Tuple[str, float, str], str] = {}
 
 
+def clear_engine_plans() -> None:
+    """Flush the per-process engine and shard plan memos.
+
+    The circuit breaker (:mod:`repro.verify.breaker`) calls this when
+    it demotes an engine: the memos cache pre-trip resolutions, and a
+    stale entry would keep routing jobs onto the engine that was just
+    caught producing a wrong answer.
+    """
+    _ENGINE_PLAN_CACHE.clear()
+    _SHARD_PLAN_CACHE.clear()
+
+
 def execute_shard_traced(task: ShardTask, claims_dir: str):
     """Shard worker entry with claim markers (see execute_job_traced)."""
     digest = task.digest()
@@ -271,7 +287,7 @@ def execute_job(key: JobKey) -> RunResult:
     """Run the simulation a key names (worker entry point; picklable)."""
     fault_point(SITE_JOB, token=key.digest())
     config = scaled_system(ways=key.design.ways, scale=key.scale)
-    return run_design(
+    result = run_design(
         key.design,
         key.workload,
         config=config,
@@ -282,6 +298,8 @@ def execute_job(key: JobKey) -> RunResult:
         epoch=key.epoch,
         engine=key.engine,
     )
+    fault_point(SITE_ENGINE_RESULT, token=key.digest(), obj=result)
+    return result
 
 
 def execute_job_sharded(key: JobKey, shards: int) -> RunResult:
@@ -299,7 +317,7 @@ def execute_job_sharded(key: JobKey, shards: int) -> RunResult:
     fault_point(SITE_JOB, token=key.digest())
     config = scaled_system(ways=key.design.ways, scale=key.scale)
     trace = _trace_factory(key).trace_for(key.workload)
-    return run_sharded(
+    result = run_sharded(
         config,
         key.design,
         trace,
@@ -309,6 +327,8 @@ def execute_job_sharded(key: JobKey, shards: int) -> RunResult:
         seed=key.seed,
         engine=key.engine,
     )
+    fault_point(SITE_ENGINE_RESULT, token=key.digest(), obj=result)
+    return result
 
 
 def execute_job_traced(key: JobKey, claims_dir: str) -> RunResult:

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 import time
 import warnings
 from dataclasses import dataclass
@@ -188,22 +189,36 @@ def quarantine_entry(
     if qdir is None or not moved:
         return None
     why = qdir / f"{Path(path).name}.why"
+    payload = json.dumps(
+        {
+            "entry": Path(path).name,
+            "reason": reason,
+            "quarantined_utc": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+        },
+        indent=2,
+        sort_keys=True,
+    ) + "\n"
+    # Atomic like ResultStore.put: a crash mid-write must not leave a
+    # quarantined payload beside a torn (or empty) .why sidecar.
     try:
-        why.write_text(
-            json.dumps(
-                {
-                    "entry": Path(path).name,
-                    "reason": reason,
-                    "quarantined_utc": datetime.now(timezone.utc).isoformat(
-                        timespec="seconds"
-                    ),
-                },
-                indent=2,
-                sort_keys=True,
-            )
-            + "\n",
-            encoding="utf-8",
+        from repro.exec.faults import SITE_QUARANTINE_WHY, fault_point
+
+        fault_point(SITE_QUARANTINE_WHY, token=Path(path).name)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".why", dir=str(qdir)
         )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, why)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
     except OSError:
         pass
     return moved[0]
@@ -230,6 +245,12 @@ class SweepJournal:
     serialized outcome), so ``--resume`` restarts a half-finished job
     from its surviving shards rather than from scratch. Shard lines are
     additive — journals without them load exactly as before.
+
+    Sweeps run with ``--verify-fraction`` additionally append
+    ``verify_sampled`` / ``verify_ok`` / ``verify_mismatch`` lines
+    (:meth:`record_verify`); :meth:`load` collects the ok/mismatch
+    outcomes so a resumed sweep never re-verifies a job the journal
+    already vouches for.
     """
 
     def __init__(self, path: Union[str, Path]):
@@ -237,6 +258,7 @@ class SweepJournal:
         self.header: Optional[Dict[str, Any]] = None
         self._done: Dict[str, Dict[str, Any]] = {}
         self._shards: Dict[str, Dict[str, Any]] = {}
+        self._verify: Dict[str, str] = {}
         self._write_failed = False
 
     @staticmethod
@@ -274,6 +296,7 @@ class SweepJournal:
         self.header = header
         self._done = {}
         self._shards = {}
+        self._verify = {}
 
     def load(self) -> int:
         """Parse the journal; returns the number of completed jobs.
@@ -316,16 +339,24 @@ class SweepJournal:
         self.header = records[0]
         self._done = {}
         self._shards = {}
+        self._verify = {}
         for record in records[1:]:
-            if not (
-                isinstance(record.get("key"), str)
-                and isinstance(record.get("result"), dict)
-            ):
+            event = record.get("event")
+            key = record.get("key")
+            if not isinstance(key, str):
                 continue
-            if record.get("event") == "done":
-                self._done[record["key"]] = record["result"]
-            elif record.get("event") == "shard":
-                self._shards[record["key"]] = record["result"]
+            if event in ("verify_ok", "verify_mismatch"):
+                # Verification state survives a kill: a resumed sweep
+                # trusts (and counts) journaled verify_ok outcomes
+                # instead of re-running the shadow comparison.
+                self._verify[key] = event[len("verify_"):]
+                continue
+            if not isinstance(record.get("result"), dict):
+                continue
+            if event == "done":
+                self._done[key] = record["result"]
+            elif event == "shard":
+                self._shards[key] = record["result"]
         return len(self._done)
 
     def lookup(self, key: Any) -> Optional[Dict[str, Any]]:
@@ -365,6 +396,26 @@ class SweepJournal:
     def record_event(self, event: str, **fields: Any) -> None:
         """Append an informational line (retry, timeout, quarantine...)."""
         self._append({"event": event, **fields})
+
+    def verify_outcome(self, key: Any) -> Optional[str]:
+        """Journaled shadow-verification outcome: "ok", "mismatch", None."""
+        return self._verify.get(key.digest())
+
+    def record_verify(self, key: Any, outcome: str, **fields: Any) -> None:
+        """Append a shadow-verification line (``verify_<outcome>``).
+
+        ``ok``/``mismatch`` outcomes also update the in-memory map so a
+        load-free reader of this instance sees them; ``sampled`` is
+        informational only.
+        """
+        if outcome in ("ok", "mismatch"):
+            self._verify[key.digest()] = outcome
+        self.record_event(
+            f"verify_{outcome}",
+            key=key.digest(),
+            display=key.display,
+            **fields,
+        )
 
     def _append(self, record: Dict[str, Any]) -> None:
         try:

@@ -4,8 +4,11 @@ Results are memoized as JSON under ``<root>/<dd>/<digest>.json`` where
 ``digest`` is the :meth:`JobKey.digest` content address (the leading
 two hex digits shard the directory). Each record carries the canonical
 key alongside the result, so a lookup verifies the stored key matches
-before trusting the payload — a digest collision or a hand-edited file
-degrades to a cache miss, never to a wrong result.
+before trusting the payload, and the result's embedded
+``payload_digest`` (:mod:`repro.verify.digest`) is recomputed on every
+read — a digest collision, a hand-edited file, or bit-rot that keeps
+the JSON parseable all degrade to a cache miss, never to a wrong
+result.
 
 Writes are atomic (temp file + ``os.replace``), so concurrent executors
 sharing one store directory can only ever race to write identical
@@ -33,6 +36,7 @@ from repro.exec.faults import SITE_STORE_ENTRY, SITE_STORE_WRITE, fault_point
 from repro.exec.jobs import RESULT_SCHEMA_VERSION, JobKey
 from repro.exec.resilience import quarantine_entry
 from repro.sim.system import RunResult
+from repro.verify.digest import result_digest
 
 RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
 
@@ -89,7 +93,19 @@ class ResultStore:
                 )
             if record["key"] != key.canonical():
                 raise ValueError("stored key does not match lookup key")
-            return RunResult.from_dict(record["result"])
+            result = RunResult.from_dict(record["result"])
+            declared = record["result"].get("payload_digest")
+            recomputed = result_digest(result)
+            if declared != recomputed:
+                # On-disk bit-rot (or tampering) that left the JSON
+                # parseable: the counters no longer match the digest
+                # stamped at write time. A detected miss, never a
+                # silently wrong answer.
+                raise ValueError(
+                    f"payload digest mismatch (stored {declared!r}, "
+                    f"recomputed {recomputed})"
+                )
+            return result
         except (KeyError, TypeError, ValueError, ReproError) as exc:
             self._quarantine(path, f"malformed result entry: {exc}")
             return None

@@ -66,6 +66,13 @@ class Settings:
     # --engine-strict: error instead of falling back when the requested
     # engine cannot drive a design exactly.
     engine_strict: bool = False
+    # Shadow-verification sampling fraction (--verify-fraction): this
+    # share of executed jobs is re-run on the reference engine and the
+    # result digests compared (see repro.verify). 0 disables.
+    verify_fraction: float = 0.0
+    # Reference engine for shadow verification and `repro audit`
+    # recomputes (--verify-engine): "stream" (default) or "loop".
+    verify_engine: str = "stream"
 
     def quick(self) -> "Settings":
         """A reduced configuration for smoke tests and CI."""
@@ -86,6 +93,8 @@ class Settings:
             timeout=self.timeout,
             journal=journal,
             shards=self.shards,
+            verify_fraction=self.verify_fraction,
+            verify_engine=self.verify_engine,
         )
 
     def budgeted(self) -> "Settings":
@@ -176,6 +185,18 @@ def add_settings_arguments(parser: argparse.ArgumentParser) -> None:
                         help="error instead of falling back when the "
                              "requested --engine cannot drive a design "
                              "exactly")
+    parser.add_argument("--verify-fraction", type=float, default=0.0,
+                        metavar="F", dest="verify_fraction",
+                        help="shadow-verify this fraction of executed jobs "
+                             "against a reference-engine re-run (sampled "
+                             "deterministically by job digest; mismatches "
+                             "are quarantined, the offending engine is "
+                             "circuit-broken, and the sweep heals from the "
+                             "reference result; default 0: disabled)")
+    parser.add_argument("--verify-engine", type=str, default="stream",
+                        choices=("stream", "loop"), dest="verify_engine",
+                        help="reference engine for shadow verification "
+                             "(default: stream)")
 
 
 def settings_from_args(
@@ -212,6 +233,8 @@ def settings_from_args(
         parser.error("--retries must be >= 0")
     if args.timeout is not None and args.timeout <= 0:
         parser.error("--timeout must be positive")
+    if not 0.0 <= args.verify_fraction <= 1.0:
+        parser.error("--verify-fraction must be in [0, 1]")
     return replace(
         settings,
         jobs=args.jobs,
@@ -223,6 +246,8 @@ def settings_from_args(
         timeout=args.timeout,
         engine=args.engine,
         engine_strict=args.engine_strict,
+        verify_fraction=args.verify_fraction,
+        verify_engine=args.verify_engine,
     ).budgeted()
 
 

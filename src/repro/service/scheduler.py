@@ -43,6 +43,7 @@ from repro.errors import (
     JournalError,
     ReproError,
     TransientError,
+    VerificationError,
 )
 from repro.exec.executor import Executor
 from repro.exec.jobs import RESULT_SCHEMA_VERSION, JobKey
@@ -157,6 +158,8 @@ class JobManager:
             "transient_retries": 0,
             "timeouts": 0,
             "pool_breaks": 0,
+            "verified": 0,
+            "verify_mismatches": 0,
             "shed_queue_full": 0,
             "shed_rate_limited": 0,
             "resumed_batches": 0,
@@ -292,6 +295,8 @@ class JobManager:
     def _error_payload(exc: ReproError) -> Dict[str, Any]:
         if isinstance(exc, ConfigError):
             kind, exit_code, retryable = "config", 2, False
+        elif isinstance(exc, VerificationError):
+            kind, exit_code, retryable = "verification", 4, False
         else:
             kind, exit_code = "execution", 3
             retryable = isinstance(
@@ -354,12 +359,21 @@ class JobManager:
                     self._publish_progress, entry, done, total, source
                 )
 
+        def on_verify(key: JobKey, outcome: str, detail: Dict[str, str]):
+            entry = by_digest.get(key.digest())
+            if entry is not None and loop is not None:
+                loop.call_soon_threadsafe(
+                    self._publish_verify, entry, outcome, dict(detail)
+                )
+
         self.executor.progress = progress
+        self.executor.on_verify = on_verify
         self.executor.journal = journal
         try:
             return self.executor.run([entry.key for entry in entries])
         finally:
             self.executor.progress = None
+            self.executor.on_verify = None
             self.executor.journal = None
 
     def _absorb_stats(self) -> None:
@@ -371,6 +385,8 @@ class JobManager:
         self.counters["transient_retries"] += stats.transient_retries
         self.counters["timeouts"] += stats.timeouts
         self.counters["pool_breaks"] += stats.pool_breaks
+        self.counters["verified"] += stats.verified
+        self.counters["verify_mismatches"] += stats.mismatches
 
     def _publish_progress(
         self, entry: _Entry, done: int, total: int, source: str
@@ -383,6 +399,19 @@ class JobManager:
             "batch_done": done,
             "batch_total": total,
         }
+        for sub in entry.each():
+            sub.put(event)
+
+    def _publish_verify(
+        self, entry: _Entry, outcome: str, detail: Dict[str, str]
+    ) -> None:
+        event = {
+            "event": "verify",
+            "key": entry.digest,
+            "display": entry.key.display,
+            "outcome": outcome,
+        }
+        event.update(detail)
         for sub in entry.each():
             sub.put(event)
 

@@ -16,7 +16,10 @@ Overload degrades gracefully instead of falling over: per-client
 token buckets answer ``429 Too Many Requests`` and a full admission
 queue answers ``503 Service Unavailable``, both with ``Retry-After``.
 Error payloads mirror the CLI exit-code contract (config = 2,
-execution = 3; see ``docs/robustness.md``).
+execution = 3, verification = 4; see ``docs/robustness.md``). With
+``--verify-fraction`` a sample of computed jobs is shadow-verified on
+the reference engine; ``verify`` events appear on the stream and
+``verified`` / ``verify_mismatches`` counters in ``/metrics``.
 """
 
 from __future__ import annotations
@@ -58,6 +61,8 @@ class ServiceConfig:
     burst: float = 10.0
     max_body: int = protocol.MAX_BODY_BYTES
     resume: bool = True
+    verify_fraction: float = 0.0  # shadow-verify this share of computed jobs
+    verify_engine: str = "stream"
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -69,6 +74,16 @@ class ServiceConfig:
         if self.max_body < 1024:
             raise ConfigError(
                 f"max_body must be >= 1024, got {self.max_body}"
+            )
+        if not 0.0 <= self.verify_fraction <= 1.0:
+            raise ConfigError(
+                f"verify_fraction must be in [0, 1], "
+                f"got {self.verify_fraction}"
+            )
+        if self.verify_engine not in ("stream", "loop"):
+            raise ConfigError(
+                f"verify_engine must be 'stream' or 'loop', "
+                f"got {self.verify_engine!r}"
             )
 
 
@@ -86,6 +101,8 @@ class SweepService:
             retries=config.retries,
             timeout=config.timeout,
             shards=config.shards,
+            verify_fraction=config.verify_fraction,
+            verify_engine=config.verify_engine,
         )
         self.manager = JobManager(
             executor,

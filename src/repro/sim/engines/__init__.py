@@ -32,6 +32,7 @@ from typing import Optional, Tuple
 from repro.core.protocols import unreplayable_roles, unvectorizable_roles
 from repro.errors import SimulationError
 from repro.sim.engines.base import Engine, Segment, TraceStream, serial_segments
+from repro.verify.breaker import is_tripped
 from repro.sim.engines.loop import PerAccessEngine
 from repro.sim.engines.replay import SparseReplayEngine
 from repro.sim.engines.stream import StreamEngine
@@ -101,6 +102,24 @@ def warn_engine_fallback(design, cache, requested: str, fallback: str) -> None:
     )
 
 
+def _warn_breaker_fallback(design, cache, requested: str, fallback: str) -> None:
+    """One-time warning that a request hit a circuit-broken engine."""
+    key = ("breaker", requested, fallback)
+    if key in _ENGINE_FALLBACK_WARNED:
+        return
+    _ENGINE_FALLBACK_WARNED.add(key)
+    from repro.sim.shard import in_worker_process  # deferred: shard imports us
+
+    if in_worker_process():
+        return
+    warnings.warn(
+        f"--engine {requested} is circuit-broken after a verification "
+        f"mismatch; running {fallback} instead (results stay exact)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def resolve_engine(
     cache,
     requested: str = "auto",
@@ -114,6 +133,12 @@ def resolve_engine(
     :class:`SimulationError`, and the default falls down the chain
     (vector → replay → stream → loop) with a one-time
     :func:`warn_engine_fallback` warning.
+
+    Engines demoted by the verification circuit breaker
+    (:mod:`repro.verify.breaker`) are skipped everywhere: ``auto``
+    silently resolves past them, and an explicit request for a tripped
+    engine degrades down the chain with a one-time warning (or raises
+    under ``strict``) — the sweep finishes on a trusted engine.
     """
     if requested not in ENGINE_NAMES:
         raise SimulationError(
@@ -121,9 +146,26 @@ def resolve_engine(
         )
     if requested == "auto":
         for name in _CHAIN:
+            if is_tripped(name):
+                continue
             engine = ENGINES[name]
             if engine.supports(cache):
                 return engine
+        return ENGINES["loop"]
+    if is_tripped(requested):
+        if strict:
+            raise SimulationError(
+                f"engine {requested!r} is circuit-broken after a "
+                f"verification mismatch (--engine-strict); use --engine "
+                f"auto to fall back"
+            )
+        for name in _CHAIN[_CHAIN.index(requested) + 1:]:
+            if is_tripped(name):
+                continue
+            fallback = ENGINES[name]
+            if fallback.supports(cache):
+                _warn_breaker_fallback(design, cache, requested, name)
+                return fallback
         return ENGINES["loop"]
     engine = ENGINES[requested]
     if engine.supports(cache):
@@ -135,6 +177,8 @@ def resolve_engine(
             f"(--engine-strict); use --engine auto to fall back"
         )
     for name in _CHAIN[_CHAIN.index(requested) + 1:]:
+        if is_tripped(name):
+            continue
         fallback = ENGINES[name]
         if fallback.supports(cache):
             warn_engine_fallback(design, cache, requested, name)

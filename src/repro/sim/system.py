@@ -21,6 +21,7 @@ from repro.sim.phases import PhaseSeries
 from repro.sim.stats import CacheStats
 from repro.sim.timing_model import IntervalTimingModel, TimingBreakdown
 from repro.sim.trace import Trace
+from repro.verify.digest import result_digest
 
 DesignSpec = AccordDesign  # public alias
 
@@ -71,8 +72,10 @@ class RunResult:
 
         Besides the raw fields, the top level carries the derived
         ``hit_rate`` / ``prediction_accuracy`` / ``runtime_ns`` values so
-        exported records are self-describing; :meth:`from_dict` ignores
-        them (they are recomputed from the counters).
+        exported records are self-describing, plus a ``payload_digest``
+        (:func:`repro.verify.digest.result_digest`) that the store and
+        ``repro audit`` verify on read; :meth:`from_dict` ignores them
+        (they are recomputed from the counters).
         """
         return {
             "design": asdict(self.design),
@@ -84,6 +87,7 @@ class RunResult:
             "hit_rate": self.hit_rate,
             "prediction_accuracy": self.prediction_accuracy,
             "runtime_ns": self.runtime_ns,
+            "payload_digest": result_digest(self),
         }
 
     @classmethod

@@ -1,0 +1,30 @@
+"""Runtime trust layer: digests, shadow verification, audit, breaker.
+
+Four coordinated defenses against wrong numbers at scale:
+
+* :mod:`repro.verify.digest` — canonical ``payload_digest`` /
+  ``result_digest`` over the bit-identical stats + phase surface.
+* :mod:`repro.verify.shadow` — ``--verify-fraction`` sampling and the
+  reference re-execution the executor compares against.
+* :mod:`repro.verify.breaker` — the engine circuit breaker that
+  demotes an engine caught lying, for the rest of the process.
+* :mod:`repro.verify.audit` — the offline ``python -m repro audit``
+  walk of the result store and trace cache.
+
+Only the pure-stdlib pieces (digest, breaker) are imported eagerly:
+:mod:`repro.sim.system` and the engine resolver pull them in at module
+level, so anything heavier here would cycle. ``shadow`` and ``audit``
+import the exec layer and are loaded lazily by their consumers.
+"""
+
+from repro.verify.breaker import is_tripped, reset, trip, tripped
+from repro.verify.digest import payload_digest, result_digest
+
+__all__ = [
+    "is_tripped",
+    "payload_digest",
+    "reset",
+    "result_digest",
+    "trip",
+    "tripped",
+]

@@ -1,0 +1,98 @@
+"""Process-wide circuit breaker for the drive-engine resolver.
+
+When shadow verification (:mod:`repro.verify.shadow`) catches an engine
+producing a wrong answer, it *trips* that engine here. A tripped engine
+is demoted for the rest of the process: the resolver
+(:func:`repro.sim.engines.resolve_engine`) skips it and falls down the
+``vector → replay → stream → loop`` chain, so the sweep completes on a
+trusted engine instead of aborting — bit-identically, because engines
+agree wherever they overlap.
+
+The trip is recorded twice:
+
+* in a process-global set, consulted on every resolution, and
+* in the ``REPRO_ENGINE_DENY`` environment variable (comma-separated
+  engine names), so pool worker processes forked *after* the trip
+  inherit the demotion. Workers already running keep their resolved
+  engine for in-flight jobs; with verification enabled their sampled
+  results are still checked, so nothing wrong survives.
+
+``loop`` is the ground-truth reference and can never be tripped —
+demoting it would leave nothing to fall back to.
+
+Pure stdlib (plus :mod:`repro.errors`) on purpose: the engine resolver
+imports this at module level.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import FrozenSet
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "ENGINE_DENY_ENV",
+    "is_tripped",
+    "reset",
+    "trip",
+    "tripped",
+]
+
+ENGINE_DENY_ENV = "REPRO_ENGINE_DENY"
+
+_TRIPPED: set = set()
+
+
+def _env_tripped() -> FrozenSet[str]:
+    raw = os.environ.get(ENGINE_DENY_ENV, "")
+    return frozenset(name.strip() for name in raw.split(",") if name.strip())
+
+
+def tripped() -> FrozenSet[str]:
+    """Every engine currently demoted (local trips plus inherited env)."""
+    return frozenset(_TRIPPED) | _env_tripped()
+
+
+def is_tripped(name: str) -> bool:
+    """Whether ``name`` is circuit-broken in this process."""
+    return name in _TRIPPED or name in _env_tripped()
+
+
+def trip(name: str, reason: str = "") -> bool:
+    """Demote ``name`` for the rest of the process; True if newly tripped.
+
+    Updates the deny environment variable so freshly forked workers
+    inherit the demotion, flushes the per-process engine-plan memos
+    (they cache pre-trip resolutions), and warns once per engine.
+    """
+    if name == "loop":
+        raise ConfigError(
+            "the 'loop' reference engine cannot be circuit-broken; "
+            "there is nothing left to fall back to"
+        )
+    if is_tripped(name):
+        return False
+    _TRIPPED.add(name)
+    os.environ[ENGINE_DENY_ENV] = ",".join(sorted(tripped()))
+    # Deferred: importing the exec layer at module level would cycle
+    # (engines -> breaker -> jobs -> ... -> engines).
+    from repro.exec.jobs import clear_engine_plans
+
+    clear_engine_plans()
+    detail = f": {reason}" if reason else ""
+    warnings.warn(
+        f"engine {name!r} circuit-broken for the rest of the process"
+        f"{detail}; affected jobs fall back down the engine chain "
+        "(results stay exact)",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    return True
+
+
+def reset() -> None:
+    """Clear every trip (tests; a new process starts clean anyway)."""
+    _TRIPPED.clear()
+    os.environ.pop(ENGINE_DENY_ENV, None)

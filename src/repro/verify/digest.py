@@ -1,0 +1,61 @@
+"""Canonical content digests for simulation result payloads.
+
+A result's *payload digest* is a SHA-256 over the canonical-JSON form
+of its :class:`~repro.sim.stats.CacheStats` counters plus its optional
+:class:`~repro.sim.stats.PhaseSeries` — exactly the bit-identical
+surface the engine equivalence suite asserts on. Two results computed
+by different engines (or processes, or machines) therefore share a
+digest iff they are the same answer; timing metadata and cosmetic
+labels never participate.
+
+The digest serves two trust roles (:mod:`repro.verify`):
+
+* **Shadow verification** compares the digest of a sampled job's result
+  against a reference re-execution — a cheap equality check over the
+  full counter surface.
+* **Output integrity**: :meth:`RunResult.to_dict` embeds the digest as
+  ``payload_digest``, and :meth:`ResultStore.get` (and ``repro audit``)
+  recompute it on read, so on-disk bit-rot becomes a detected miss.
+
+Pure stdlib on purpose: :mod:`repro.sim.system` imports this at module
+level, so it must not import anything from the sim/exec stack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping, Optional
+
+__all__ = ["payload_digest", "result_digest"]
+
+
+def payload_digest(
+    stats: Mapping[str, Any], phases: Optional[Mapping[str, Any]] = None
+) -> str:
+    """SHA-256 hex digest of a canonical (stats, phases) payload.
+
+    ``stats`` is a :meth:`CacheStats.to_dict` mapping (raw counters
+    only, no derived rates) and ``phases`` a
+    :meth:`PhaseSeries.to_dict` mapping or None. Canonical JSON
+    (sorted keys, no whitespace) makes the digest independent of dict
+    ordering and serializer cosmetics.
+    """
+    payload = json.dumps(
+        {"phases": phases, "stats": stats},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def result_digest(result: Any) -> str:
+    """Payload digest of a :class:`~repro.sim.system.RunResult`.
+
+    Duck-typed (anything with ``.stats.to_dict()`` and an optional
+    ``.phases``) so the exec layer can digest results without importing
+    the simulator. Engine-invariant by construction: all four drive
+    engines produce bit-identical stats and phase series.
+    """
+    phases = result.phases.to_dict() if result.phases is not None else None
+    return payload_digest(result.stats.to_dict(), phases)

@@ -426,3 +426,57 @@ class TestJobKeyEngine:
             expand_spec({"designs": "pws:2", "engine": "warp"})
         with pytest.raises(ConfigError, match="must be a string"):
             expand_spec({"designs": "pws:2", "engine": 3})
+
+
+class TestResultDigestProperties:
+    """result_digest is an engine-invariant payload fingerprint.
+
+    The trust layer's shadow verification compares digests across
+    engines, so the digest must be a pure function of the *answer*
+    (stats + phases), identical under every engine, and sensitive to a
+    perturbation of any single stats field.
+    """
+
+    @pytest.mark.parametrize("engine", ["loop", "stream", "vector", "replay"])
+    @pytest.mark.parametrize("design", BENCH_DESIGNS, ids=_design_id)
+    def test_digest_engine_invariant(self, design, engine, trace,
+                                     loop_reference):
+        from repro.verify.digest import payload_digest, result_digest
+
+        ref = loop_reference(design)
+        expected = payload_digest(ref["stats"], ref["phases"])
+        assert ref["payload_digest"] == expected
+        config = scaled_system(ways=design.ways, scale=SCALE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = Simulator(config, design, seed=5).run(
+                trace, warmup_fraction=0.3, epoch=EPOCH, engine=engine
+            )
+        assert result_digest(result) == expected
+
+    @pytest.mark.parametrize("design", BENCH_DESIGNS, ids=_design_id)
+    def test_digest_sensitive_to_every_stats_field(self, design, trace,
+                                                   loop_reference):
+        from repro.verify.digest import payload_digest
+
+        import copy
+
+        ref = loop_reference(design)
+        base = payload_digest(ref["stats"], ref["phases"])
+
+        def leaves(node, path=()):
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    yield from leaves(value, path + (key,))
+            elif isinstance(node, (int, float)) and not isinstance(node, bool):
+                yield path
+
+        paths = list(leaves(ref["stats"]))
+        assert paths  # every design reports at least one counter
+        for path in paths:
+            perturbed = copy.deepcopy(ref["stats"])
+            node = perturbed
+            for key in path[:-1]:
+                node = node[key]
+            node[path[-1]] += 1
+            assert payload_digest(perturbed, ref["phases"]) != base, path
