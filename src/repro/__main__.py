@@ -183,6 +183,7 @@ def _cmd_profile(args: argparse.Namespace,
     from repro.params.system import scaled_system
     from repro.sim.profile import profile_shards, profile_trace, shard_summary
     from repro.sim.runner import TraceFactory
+    from repro.workloads.trace_cache import shared_trace_cache
 
     if not 0.0 < args.scale <= 1.0:
         parser.error("--scale must be in (0, 1]")
@@ -205,6 +206,12 @@ def _cmd_profile(args: argparse.Namespace,
     print(f"Trace profile: {args.workload} "
           f"(scale {args.scale:g}, seed {args.seed})")
     print(profile.summary())
+    disk = shared_trace_cache()
+    if disk is not None:
+        counters = disk.stats
+        print(f"trace cache: {counters.hits} hits, "
+              f"{counters.misses} misses, "
+              f"{counters.bytes_read} bytes read")
     if args.shards > 1:
         try:
             shard_profiles = profile_shards(
@@ -393,13 +400,17 @@ def _cmd_bench(args: argparse.Namespace,
     from repro.sim.bench import (
         DEFAULT_ACCESSES,
         QUICK_ACCESSES,
+        SWEEP_CONFIGS,
         compare_hit_rates,
+        compare_sweep_to_baseline,
         compare_to_baseline,
         format_report,
         format_scaling_report,
+        format_sweep_report,
         load_report,
         run_bench,
         run_shard_scaling,
+        run_sweep_bench,
         save_report,
     )
 
@@ -416,6 +427,47 @@ def _cmd_bench(args: argparse.Namespace,
         parser.error("--shards must be >= 1")
     if args.shard_scaling and args.shards < 2:
         parser.error("--shard-scaling needs --shards >= 2")
+    if args.configs is not None and not args.sweep:
+        parser.error("--configs only applies with --sweep")
+    if args.sweep:
+        if args.shards != 1 or args.shard_scaling:
+            parser.error("--sweep and --shards are mutually exclusive")
+        configs = SWEEP_CONFIGS if args.configs is None else args.configs
+        if configs < 2:
+            parser.error("--configs must be >= 2")
+        try:
+            report = run_sweep_bench(
+                workload=args.workload,
+                num_accesses=accesses,
+                seed=args.seed,
+                scale=args.scale,
+                repeats=args.repeats,
+                configs=configs,
+            )
+        except ReproError as exc:
+            print(f"FAIL: {exc}", file=sys.stderr)
+            return 1
+        print(format_sweep_report(report))
+        if args.json:
+            save_report(report, args.json)
+            print(f"wrote {args.json}")
+        if args.baseline:
+            try:
+                baseline = load_report(args.baseline)
+            except ReproError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            verdict = compare_sweep_to_baseline(
+                report, baseline, args.max_regression
+            )
+            if verdict is not None:
+                print(f"FAIL: {verdict}", file=sys.stderr)
+                return 1
+            print(
+                f"baseline check OK ({report['speedup']:.2f}x vs "
+                f"{baseline['speedup']:.2f}x in {args.baseline})"
+            )
+        return 0
     if args.shard_scaling:
         try:
             report = run_shard_scaling(
@@ -764,6 +816,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="drive engine to benchmark; designs the "
                                    "engine cannot drive exactly fall back "
                                    "down the chain (default auto)")
+    bench_parser.add_argument("--sweep", action="store_true",
+                              help="time a same-trace config matrix: "
+                                   "per-job vs batched (fused kernel) "
+                                   "execution, reported in jobs/sec "
+                                   "(BENCH_sweep.json)")
+    bench_parser.add_argument("--configs", type=int, default=None,
+                              help="config-matrix size for --sweep "
+                                   "(default 16)")
     bench_parser.add_argument("--check-hit-rates", default=None,
                               dest="check_hit_rates", metavar="PATH",
                               help="assert per-design hit rates are exactly "

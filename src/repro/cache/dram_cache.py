@@ -24,6 +24,7 @@ probe candidate ways to locate the line.
 
 from __future__ import annotations
 
+import contextlib
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.cache.access_path import AccessOutcome, AccessPath
@@ -40,7 +41,33 @@ if TYPE_CHECKING:  # import direction is core -> cache; hints only here
     from repro.core.prediction import WayPredictor
     from repro.core.steering import InstallSteering
 
-__all__ = ["AccessOutcome", "DramCache"]
+__all__ = ["AccessOutcome", "DramCache", "lazy_tag_stores"]
+
+# When set (via lazy_tag_stores), new DramCaches defer building their
+# TagStore until something actually touches ``cache.store``.
+_LAZY_STORE = False
+
+
+@contextlib.contextmanager
+def lazy_tag_stores():
+    """Build caches whose tag store materializes on first touch.
+
+    The array engines (:mod:`repro.sim.engines.vector` and the fused
+    multi-config kernel) keep all resident-line state in their own
+    arrays and never read ``cache.store``; for them the eager dense
+    store is two multi-megabyte allocations per cache build. Inside
+    this context the store is created lazily, so vector-driven builds
+    skip it entirely while any scalar-path access transparently
+    materializes the identical prefilled store. Not thread-safe: the
+    flag is module-global and meant for batch build loops.
+    """
+    global _LAZY_STORE
+    previous = _LAZY_STORE
+    _LAZY_STORE = True
+    try:
+        yield
+    finally:
+        _LAZY_STORE = previous
 
 
 class DramCache:
@@ -63,7 +90,9 @@ class DramCache:
         if isinstance(lookup, WayPredictedLookup) and predictor is None:
             raise PolicyError("way-predicted lookup needs a predictor")
         self.geometry = geometry
-        self.store = TagStore(geometry)
+        self._prefill = prefill
+        if not _LAZY_STORE:
+            self.store = TagStore(geometry)
         self.lookup = lookup
         self.steering = steering
         self.predictor = predictor
@@ -73,10 +102,23 @@ class DramCache:
         self.path = AccessPath(self)
         for observer in observers:
             self.path.add_observer(observer)
-        if prefill:
+        if prefill and "store" in self.__dict__:
             # A gigascale cache in steady state is full; start warm so
             # replacement (not empty-way filling) governs installs.
             self.store.prefill_junk()
+
+    def __getattr__(self, name):
+        # Lazily materialize the tag store for caches built under
+        # lazy_tag_stores(); identical state to an eager build.
+        if name == "store" and "geometry" in self.__dict__:
+            store = TagStore(self.geometry)
+            if self._prefill:
+                store.prefill_junk()
+            self.store = store
+            return store
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     # -- observers ----------------------------------------------------------
 

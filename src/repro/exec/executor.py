@@ -67,9 +67,20 @@ from repro.errors import (
     TransientError,
     VerificationError,
 )
+from repro.exec.batching import (
+    DEFAULT_BATCH_SIZE,
+    BatchTask,
+    TraceRef,
+    execute_batch,
+    execute_batch_traced,
+    plan_batches,
+    publish_trace,
+    trace_key_for,
+)
 from repro.exec.jobs import (
     JobKey,
     ShardTask,
+    _trace_factory,
     execute_job,
     execute_job_sharded,
     execute_job_traced,
@@ -120,6 +131,8 @@ class ExecutorStats:
     #: quarantined + healed from the reference result.
     verified: int = 0
     mismatches: int = 0
+    #: Packed same-trace batches dispatched (each covering >= 2 jobs).
+    batches: int = 0
 
 
 class _PoolBroken(Exception):
@@ -165,11 +178,15 @@ class Executor:
         verify_fraction: float = 0.0,
         verify_engine: str = "stream",
         on_verify: Optional[VerifyFn] = None,
+        batch: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         if shards < 1:
             raise ConfigError(f"shards must be >= 1, got {shards}")
+        if batch_size < 2:
+            raise ConfigError(f"batch_size must be >= 2, got {batch_size}")
         if retries < 0:
             raise ConfigError(f"retries must be >= 0, got {retries}")
         if not 0.0 <= verify_fraction <= 1.0:
@@ -207,6 +224,13 @@ class Executor:
         self.verify_fraction = verify_fraction
         self.verify_engine = verify_engine
         self.on_verify = on_verify
+        self.batch = batch
+        self.batch_size = batch_size
+        #: trace token -> (SharedMemory, TraceRef). Published segments
+        #: outlive pool breaks deliberately — the rebuilt pool's workers
+        #: re-attach to the same bytes — and are unlinked when the run
+        #: (or, for persistent owners, :meth:`shutdown`) ends.
+        self._segments: Dict[str, tuple] = {}
         self.stats = ExecutorStats()
         self._forced_timeouts: Set[JobKey] = set()
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -238,6 +262,7 @@ class Executor:
         """
         with self._lock:
             self._discard_pool(wait=wait)
+            self._release_segments()
 
     def __enter__(self) -> "Executor":
         return self.start()
@@ -261,6 +286,52 @@ class Executor:
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait, cancel_futures=True)
+
+    # -- shared-memory trace segments --------------------------------------
+
+    #: Cap on concurrently published trace segments (a persistent
+    #: service executor sweeps many workloads); oldest unlink first.
+    _SEGMENT_LIMIT = 32
+
+    def _publish_for(self, key: JobKey) -> Optional[TraceRef]:
+        """Publish (or reuse) the shared-memory segment for a job's trace.
+
+        Returns None — batches then fall back to worker-side trace
+        factories — whenever shared memory is unavailable or the trace
+        cannot be resolved here; publishing is an optimization, never a
+        correctness dependency.
+        """
+        try:
+            token = trace_key_for(key).digest()
+        except ReproError:
+            return None
+        entry = self._segments.get(token)
+        if entry is not None:
+            return entry[1]
+        try:
+            trace = _trace_factory(key).trace_for(key.workload)
+            shm, ref = publish_trace(trace, token)
+        except (OSError, ValueError, ReproError) as exc:
+            self._note("shm_degraded", key=key.digest(), error=str(exc))
+            return None
+        self._segments[token] = (shm, ref)
+        while len(self._segments) > self._SEGMENT_LIMIT:
+            oldest = next(iter(self._segments))
+            self._unlink_segment(*self._segments.pop(oldest))
+        return ref
+
+    @staticmethod
+    def _unlink_segment(shm, _ref) -> None:
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+    def _release_segments(self) -> None:
+        segments, self._segments = self._segments, {}
+        for entry in segments.values():
+            self._unlink_segment(*entry)
 
     def run(self, keys: Sequence[JobKey]) -> Dict[JobKey, RunResult]:
         """Resolve every key to a result; ``stats`` reflects this call.
@@ -322,8 +393,20 @@ class Executor:
         if not pending:
             return results
         if self.jobs == 1 or len(pending) == 1:
-            for key in pending:
-                self._record(key, self._execute_serial(key), results)
+            # Inline batching still shares one trace + plan per group
+            # (no shared memory needed in-process). With shards > 1 the
+            # intra-job shard pool already owns the parallelism, so
+            # jobs run whole.
+            if self.batch and self.shards == 1 and len(pending) > 1:
+                items = plan_batches(pending, self.batch_size)
+            else:
+                items = list(pending)
+            for item in items:
+                if isinstance(item, BatchTask):
+                    self._absorb(item, self._execute_batch_inline(item),
+                                 results)
+                else:
+                    self._record(item, self._execute_serial(item), results)
         else:
             self._run_parallel(pending, results)
         return results
@@ -504,6 +587,25 @@ class Executor:
                     ) from exc
                 self._backoff.sleep(attempts)
 
+    def _execute_batch_inline(self, task: BatchTask, attempts: int = 0):
+        """Run one packed batch in-process with the transient-retry loop."""
+        while True:
+            try:
+                return execute_batch(task)
+            except TRANSIENT_EXCEPTIONS as exc:
+                attempts += 1
+                self.stats.transient_retries += 1
+                self._note(
+                    "retry", key=task.digest(), attempt=attempts,
+                    error=str(exc),
+                )
+                if attempts > self.retries:
+                    raise ExecutionError(
+                        f"{task.display} kept failing transiently "
+                        f"(gave up after {attempts} attempts): {exc}"
+                    ) from exc
+                self._backoff.sleep(attempts)
+
     # -- parallel path ----------------------------------------------------
 
     def _flatten(
@@ -522,10 +624,11 @@ class Executor:
         self._shard_parts: Dict[JobKey, Dict[int, ShardOutcome]] = {}
         self._shard_counts: Dict[JobKey, int] = {}
         items: List = []
+        whole: List[JobKey] = []
         for key in pending:
             count = plan_shards(key, self.shards)
             if count <= 1:
-                items.append(key)
+                whole.append(key)
                 continue
             self._shard_counts[key] = count
             parts: Dict[int, ShardOutcome] = {}
@@ -542,6 +645,15 @@ class Executor:
                 items.extend(todo)
             else:
                 self._merge_job(key, results, source="resumed")
+        if self.batch and len(whole) > 1:
+            for item in plan_batches(whole, self.batch_size):
+                if isinstance(item, BatchTask):
+                    ref = self._publish_for(item.jobs[0])
+                    if ref is not None:
+                        item = replace(item, trace_ref=ref)
+                items.append(item)
+        else:
+            items.extend(whole)
         return items
 
     def _shard_from_journal(self, task: ShardTask) -> Optional[ShardOutcome]:
@@ -580,7 +692,9 @@ class Executor:
 
     def _absorb(self, item, result, results: Dict[JobKey, RunResult]) -> None:
         """Fold one completed work item into job-level results."""
-        if isinstance(item, ShardTask):
+        if isinstance(item, BatchTask):
+            self._absorb_batch(item, result, results)
+        elif isinstance(item, ShardTask):
             if self.journal is not None:
                 self.journal.record_shard(item, result)
             key = item.job
@@ -591,7 +705,36 @@ class Executor:
         else:
             self._record(item, result, results)
 
+    def _absorb_batch(
+        self,
+        task: BatchTask,
+        batch_results: Sequence[RunResult],
+        results: Dict[JobKey, RunResult],
+    ) -> None:
+        """Absorb a packed batch member by member.
+
+        Every member goes through :meth:`_record` individually, so
+        verification sampling, the store, journal done-lines (and with
+        them ``--resume`` granularity), and progress callbacks are
+        per-``JobKey`` — batching never changes what a sweep records,
+        only how the work was scheduled.
+        """
+        if len(batch_results) != len(task.jobs):
+            raise ExecutionError(
+                f"{task.display}: batch returned {len(batch_results)} "
+                f"results for {len(task.jobs)} jobs"
+            )
+        self.stats.batches += 1
+        self._note(
+            "batch", key=task.digest(), jobs=len(task.jobs),
+            members=[key.digest() for key in task.jobs],
+        )
+        for key, result in zip(task.jobs, batch_results):
+            self._record(key, result, results)
+
     def _submit(self, pool: ProcessPoolExecutor, item, claims: str):
+        if isinstance(item, BatchTask):
+            return pool.submit(execute_batch_traced, item, claims)
         if isinstance(item, ShardTask):
             return pool.submit(execute_shard_traced, item, claims)
         return pool.submit(execute_job_traced, item, claims)
@@ -644,6 +787,11 @@ class Executor:
                     self._backoff.sleep(consecutive_breaks)
         finally:
             shutil.rmtree(claims, ignore_errors=True)
+            if not self._persistent:
+                # One-shot callers: published trace segments are scoped
+                # to this run (persistent owners keep them warm across
+                # runs and release on shutdown()).
+                self._release_segments()
             if self._pool_tainted:
                 # A verification trip happened while this pool's
                 # workers were already forked (without the deny env);
@@ -720,7 +868,12 @@ class Executor:
     def _watchdog(
         self, futures: Dict, attempts: Dict[JobKey, int], claims: str
     ) -> None:
-        """Kill workers whose current job overran the wall-clock budget."""
+        """Kill workers whose current item overran the wall-clock budget.
+
+        ``timeout`` is a per-*job* budget; a packed batch gets one
+        budget per member, since it legitimately does that many jobs'
+        work under a single claim marker.
+        """
         now = time.time()
         for future, key in list(futures.items()):
             if future.done() or key in self._forced_timeouts:
@@ -730,19 +883,22 @@ class Executor:
             if claim is None or claim_done(claims, digest):
                 continue  # queued, finished, or marker unreadable
             pid, started_at = claim
-            if now - started_at <= self.timeout:
+            budget = self.timeout
+            if isinstance(key, BatchTask):
+                budget = self.timeout * len(key.jobs)
+            if now - started_at <= budget:
                 continue
             self._forced_timeouts.add(key)
             self.stats.timeouts += 1
             attempts[key] += 1
             self._note(
                 "timeout", key=key.digest(), attempt=attempts[key],
-                timeout=self.timeout,
+                timeout=budget,
             )
             _kill(pid)  # breaks the pool; the break handler reschedules
             if attempts[key] > self.retries:
                 raise ExecutionError(
-                    f"{key.display} exceeded the {self.timeout:g}s job "
+                    f"{key.display} exceeded the {budget:g}s job "
                     f"timeout (gave up after {attempts[key]} attempts)"
                 )
 
@@ -806,7 +962,12 @@ class Executor:
         )
         self._note("degraded_to_serial", remaining=len(remaining))
         for item in list(remaining):
-            if isinstance(item, ShardTask):
+            if isinstance(item, BatchTask):
+                self._absorb(
+                    item, self._execute_batch_inline(item, attempts[item]),
+                    results,
+                )
+            elif isinstance(item, ShardTask):
                 outcome = self._execute_shard_inline(item, attempts[item])
                 self._absorb(item, outcome, results)
             else:

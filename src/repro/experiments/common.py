@@ -66,6 +66,10 @@ class Settings:
     # --engine-strict: error instead of falling back when the requested
     # engine cannot drive a design exactly.
     engine_strict: bool = False
+    # Pack same-trace jobs into shared-trace batches with the fused
+    # multi-config kernel (--no-batch disables). Results are
+    # bit-identical either way; batching only changes wall-clock.
+    batch: bool = True
     # Shadow-verification sampling fraction (--verify-fraction): this
     # share of executed jobs is re-run on the reference engine and the
     # result digests compared (see repro.verify). 0 disables.
@@ -95,6 +99,7 @@ class Settings:
             shards=self.shards,
             verify_fraction=self.verify_fraction,
             verify_engine=self.verify_engine,
+            batch=self.batch,
         )
 
     def budgeted(self) -> "Settings":
@@ -185,6 +190,11 @@ def add_settings_arguments(parser: argparse.ArgumentParser) -> None:
                         help="error instead of falling back when the "
                              "requested --engine cannot drive a design "
                              "exactly")
+    parser.add_argument("--no-batch", action="store_true", dest="no_batch",
+                        help="run every job individually instead of packing "
+                             "same-trace jobs into fused-kernel batches "
+                             "(results are bit-identical; batching only "
+                             "changes wall-clock)")
     parser.add_argument("--verify-fraction", type=float, default=0.0,
                         metavar="F", dest="verify_fraction",
                         help="shadow-verify this fraction of executed jobs "
@@ -246,6 +256,7 @@ def settings_from_args(
         timeout=args.timeout,
         engine=args.engine,
         engine_strict=args.engine_strict,
+        batch=not args.no_batch,
         verify_fraction=args.verify_fraction,
         verify_engine=args.verify_engine,
     ).budgeted()

@@ -547,6 +547,22 @@ class JobManager:
 
     # -- introspection -----------------------------------------------------
 
+    @staticmethod
+    def _trace_cache_metrics() -> Optional[Dict[str, Any]]:
+        """Daemon-side trace-cache counters, or None when disabled.
+
+        Worker processes keep their own instances; these counters cover
+        the scheduler process (journal replays, serial fallbacks), which
+        is enough to observe whether the on-disk cache is serving warm
+        mmap reads or regenerating traces.
+        """
+        from repro.workloads.trace_cache import shared_trace_cache
+
+        disk = shared_trace_cache()
+        if disk is None:
+            return None
+        return disk.stats.to_dict()
+
     def metrics(self) -> Dict[str, Any]:
         lookups = self.counters["store_lookups"]
         hits = self.counters["store_hits"]
@@ -565,6 +581,7 @@ class JobManager:
                 "hits": hits,
                 "hit_ratio": (hits / lookups) if lookups else 0.0,
             },
+            "trace_cache": self._trace_cache_metrics(),
             "jobs": self.executor.jobs,
             "shards": self.executor.shards,
             "counters": dict(self.counters),

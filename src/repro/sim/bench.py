@@ -233,7 +233,10 @@ def load_report(path: str) -> Dict[str, Any]:
             report = json.load(handle)
     except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise ReproError(f"cannot read bench report {path}: {exc}") from exc
-    if not isinstance(report, dict) or "aggregate_accesses_per_sec" not in report:
+    if not isinstance(report, dict) or (
+        "aggregate_accesses_per_sec" not in report
+        and report.get("mode") != "sweep"
+    ):
         raise ReproError(f"{path} is not a bench report")
     return report
 
@@ -357,6 +360,165 @@ def format_scaling_report(report: Dict[str, Any]) -> str:
         f"hit rates identical: {report['hit_rates_identical']}"
     )
     return "\n".join(lines)
+
+
+#: Config count of the sweep benchmark's same-trace design matrix.
+SWEEP_CONFIGS = 16
+
+
+def sweep_designs(configs: int = SWEEP_CONFIGS) -> Tuple[AccordDesign, ...]:
+    """A PIP grid over 2-way PWS: the sweep benchmark's design matrix.
+
+    Unlike :data:`BENCH_DESIGNS` (deliberately heterogeneous — every
+    code path gets its own row), a *sweep* workload is homogeneous: the
+    same design family across a parameter grid. All grid points share
+    one fused-kernel signature, so the batched path evaluates the whole
+    matrix in a single multi-config pass — the case the batching layer
+    optimizes, and the one this benchmark sizes.
+    """
+    if configs < 2:
+        raise ReproError("sweep bench needs at least 2 configs")
+    designs = []
+    for i in range(configs):
+        pip = round(0.2 + 0.75 * i / (configs - 1), 6)
+        designs.append(
+            AccordDesign(
+                kind="pws", ways=2, pip=pip, label=f"pws-pip{pip:g}"
+            )
+        )
+    return tuple(designs)
+
+
+def run_sweep_bench(
+    workload: str = DEFAULT_WORKLOAD,
+    num_accesses: int = DEFAULT_ACCESSES,
+    seed: int = DEFAULT_SEED,
+    scale: float = DEFAULT_SCALE,
+    warmup: float = DEFAULT_WARMUP,
+    repeats: int = DEFAULT_REPEATS,
+    configs: int = SWEEP_CONFIGS,
+) -> Dict[str, Any]:
+    """Time a same-trace config matrix: per-job vs batched execution.
+
+    Runs the :func:`sweep_designs` grid through an in-process
+    :class:`~repro.exec.executor.Executor` twice — ``batch=False``
+    (one job at a time) and ``batch=True`` (packed batches + the fused
+    multi-config kernel) — and reports jobs per wall-clock second for
+    both, their ratio, and whether every job's result was bit-identical
+    across the two paths (it must be; a divergence raises). Store and
+    journal are disabled so the timed region is pure execution. Both
+    paths share the process-wide trace/plan memos; the first repeat
+    warms them and the best-of-``repeats`` timing discards the
+    difference, so the ratio isolates scheduling + kernel fusion.
+    """
+    from repro.exec.executor import Executor
+    from repro.exec.jobs import JobKey
+
+    if repeats < 1:
+        raise ReproError("bench needs at least one repeat")
+    designs = sweep_designs(configs)
+    keys = [
+        JobKey(
+            design=design, workload=workload, num_accesses=num_accesses,
+            warmup=warmup, seed=seed, scale=scale, epoch=None,
+        )
+        for design in designs
+    ]
+
+    def timed(batch: bool):
+        executor = Executor(jobs=1, batch=batch)
+        best = None
+        results = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run = executor.run(keys)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+                results = run
+        return best, results
+
+    per_job_sec, per_job_results = timed(batch=False)
+    batched_sec, batched_results = timed(batch=True)
+    for key in keys:
+        if (
+            batched_results[key].to_dict()
+            != per_job_results[key].to_dict()
+        ):
+            raise ReproError(
+                f"batched sweep diverged from per-job execution on "
+                f"{key.display} (results must be bit-identical)"
+            )
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "mode": "sweep",
+        "workload": workload,
+        "num_accesses": num_accesses,
+        "seed": seed,
+        "scale": scale,
+        "warmup": warmup,
+        "repeats": repeats,
+        "configs": len(keys),
+        "designs": [design.display_name for design in designs],
+        "per_job_sec": per_job_sec,
+        "batched_sec": batched_sec,
+        "per_job_jobs_per_sec": len(keys) / per_job_sec,
+        "batched_jobs_per_sec": len(keys) / batched_sec,
+        "speedup": per_job_sec / batched_sec,
+        "results_identical": True,
+    }
+
+
+def format_sweep_report(report: Dict[str, Any]) -> str:
+    """Human-readable summary for one :func:`run_sweep_bench` report."""
+    return "\n".join(
+        [
+            f"Batched sweep: {report['workload']}, "
+            f"{report['configs']} configs x {report['num_accesses']} "
+            f"accesses, best of {report['repeats']} "
+            f"(seed {report['seed']})",
+            "",
+            f"  per-job:  {report['per_job_jobs_per_sec']:>8.2f} jobs/sec "
+            f"({report['per_job_sec']:.3f}s)",
+            f"  batched:  {report['batched_jobs_per_sec']:>8.2f} jobs/sec "
+            f"({report['batched_sec']:.3f}s)",
+            "",
+            f"  speedup: {report['speedup']:.2f}x; results identical: "
+            f"{report['results_identical']}",
+        ]
+    )
+
+
+def compare_sweep_to_baseline(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float,
+) -> Optional[str]:
+    """None if the sweep ``report`` holds up against ``baseline``.
+
+    The gate is on the *speedup ratio*, not on absolute jobs/s: the
+    ratio is machine-relative on both sides of the division, so it
+    transfers across runner classes the way wall-clock numbers do not.
+    ``max_regression`` is a fraction of the baseline ratio (0.30 =
+    fail when the batched-over-per-job speedup drops more than 30%).
+    A report whose batched path fell behind per-job execution
+    (speedup < 1) fails regardless of the baseline.
+    """
+    current = float(report["speedup"])
+    if current < 1.0:
+        return (
+            f"batched sweep is slower than per-job execution "
+            f"({current:.2f}x); batching must never lose"
+        )
+    reference = float(baseline["speedup"])
+    floor = reference * (1.0 - max_regression)
+    if current < floor:
+        return (
+            f"batched sweep speedup regressed: {current:.2f}x vs baseline "
+            f"{reference:.2f}x (floor {floor:.2f}x at "
+            f"{max_regression:.0%} tolerance)"
+        )
+    return None
 
 
 def compare_to_baseline(

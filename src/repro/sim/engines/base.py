@@ -77,19 +77,28 @@ class Engine(Protocol):
 class TraceStream:
     """Adapts a whole :class:`Trace` to the engine stream interface.
 
-    The split columns are resolved lazily so engines that never touch
-    them (the per-address loop driving a cache without an access path)
-    do not pay for the per-geometry decomposition.
+    Every column is resolved lazily: the split columns so engines that
+    never touch them (the per-address loop driving a cache without an
+    access path) do not pay for the per-geometry decomposition, and the
+    ``writes``/``addrs`` lists so array engines driving an array-backed
+    trace (mmap'd cache entry or shared-memory segment) never force the
+    per-element list materialization.
     """
 
-    __slots__ = ("trace", "geometry", "writes", "addrs", "_columns")
+    __slots__ = ("trace", "geometry", "_columns")
 
     def __init__(self, trace: Trace, geometry):
         self.trace = trace
         self.geometry = geometry
-        self.writes = trace.writes
-        self.addrs = trace.addrs
         self._columns = None
+
+    @property
+    def writes(self):
+        return self.trace.writes
+
+    @property
+    def addrs(self):
+        return self.trace.addrs
 
     def _split(self):
         columns = self._columns

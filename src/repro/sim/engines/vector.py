@@ -41,6 +41,7 @@ eligibility, even if they inherit the capability flag).
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -94,12 +95,25 @@ def _build_plan(cache) -> Optional[_Plan]:
     path = getattr(cache, "path", None)
     if path is None or path.observers:
         return None
-    store = getattr(cache, "store", None)
-    if type(store) is not TagStore or not store.dense:
-        return None
     geometry = cache.geometry
-    if store.valid_lines != geometry.num_lines:
-        return None  # fresh-cache contract: junk-prefilled store
+    store = cache.__dict__.get("store")
+    if store is None:
+        from repro.cache.dram_cache import DramCache
+        from repro.cache.storage import _DENSE_LIMIT_LINES
+
+        if type(cache) is DramCache and "geometry" in cache.__dict__:
+            # Deferred store (lazy_tag_stores): it materializes as a
+            # fresh TagStore, so validate the contract from the
+            # geometry without forcing the multi-MB allocation.
+            if not cache._prefill or geometry.num_lines > _DENSE_LIMIT_LINES:
+                return None
+        else:
+            store = getattr(cache, "store", None)
+    if store is not None:
+        if type(store) is not TagStore or not store.dense:
+            return None
+        if store.valid_lines != geometry.num_lines:
+            return None  # fresh-cache contract: junk-prefilled store
     plan = _Plan()
     plan.ways = geometry.ways
     plan.num_sets = geometry.num_sets
@@ -193,13 +207,42 @@ def _build_plan(cache) -> Optional[_Plan]:
 #: the same trace.
 _TRACE_PLANS: dict = {}
 
+#: cache_token -> per-trace plan dict, for traces that carry a content
+#: identity (loaded from the trace cache or attached from a shared
+#: memory segment): distinct Trace objects with the same token are
+#: byte-identical by construction, so their plans are interchangeable.
+#: Bounded LRU — entries pin the column arrays.
+_TOKEN_PLANS: "OrderedDict[str, dict]" = OrderedDict()
+_TOKEN_PLAN_LIMIT = 8
+
+#: Process-local count of sorted step-structure builds (one per trace ×
+#: geometry that missed every memo). The plan-reuse tests assert a
+#: same-trace sweep pays this exactly once per worker.
+_PLAN_BUILDS = 0
+
+
+def plan_build_count() -> int:
+    """Cumulative step-plan builds in this process (monotonic)."""
+    return _PLAN_BUILDS
+
 
 def _plans_for(trace) -> dict:
+    token = getattr(trace, "cache_token", None)
+    if token is not None:
+        per_trace = _TOKEN_PLANS.get(token)
+        if per_trace is None:
+            per_trace = {}
+            _TOKEN_PLANS[token] = per_trace
+            while len(_TOKEN_PLANS) > _TOKEN_PLAN_LIMIT:
+                _TOKEN_PLANS.popitem(last=False)
+        else:
+            _TOKEN_PLANS.move_to_end(token)
+        return per_trace
     tid = id(trace)
     record = _TRACE_PLANS.get(tid)
     if record is not None and record[0]() is trace:
         return record[1]
-    per_trace: dict = {}
+    per_trace = {}
 
     def _evict(_ref, tid=tid):
         _TRACE_PLANS.pop(tid, None)
@@ -247,11 +290,13 @@ def _sort_steps(
 
 def _stream_arrays(stream, geometry):
     """(sets, tags, writes, steps) for a stream, cached per trace."""
+    global _PLAN_BUILDS
     trace = getattr(stream, "trace", None)
     if trace is None:
         sets = np.asarray(stream.set_indices, dtype=np.int64)
         tags = np.asarray(stream.tags, dtype=np.int64)
         writes = np.asarray(stream.writes, dtype=np.uint8)
+        _PLAN_BUILDS += 1
         return sets, tags, writes, _sort_steps(sets, writes)
     key = (geometry.offset_bits, geometry.index_bits)
     per_trace = _plans_for(trace)
@@ -261,6 +306,7 @@ def _stream_arrays(stream, geometry):
         sets = lines & ((1 << geometry.index_bits) - 1)
         tags = lines >> geometry.index_bits
         writes = trace.numpy_writes()
+        _PLAN_BUILDS += 1
         entry = (sets, tags, writes, _sort_steps(sets, writes))
         per_trace[key] = entry
     return entry

@@ -88,6 +88,11 @@ class TraceFactory:
             trace = generator.generate(self.num_accesses)
         if disk is not None:
             disk.put(key, trace)
+        if key is not None:
+            # Tag even freshly generated traces with their content
+            # address: engine plan memos keyed by cache_token then
+            # recognize the same trace across factory instances.
+            trace.cache_token = key.digest()
         return trace
 
 

@@ -35,6 +35,7 @@ runs inline/serial there instead.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import warnings
@@ -376,6 +377,21 @@ def _run_shard_payload(payload) -> ShardOutcome:
     (config, design, seed, shard, local_warm, segments, epoch,
      workload, ipa, engine) = payload
     cache = build_dram_cache(design, config, seed=seed)
+    if not isinstance(shard, TraceShard):
+        # Zero-copy payload: (TraceRef, n_shards, index). Attach to the
+        # parent's shared-memory segment (memoized per worker) and carve
+        # this worker's shard locally instead of unpickling the
+        # materialized per-record columns.
+        from repro.exec.batching import attach_trace
+
+        ref, n_shards, index = shard
+        trace = attach_trace(ref)
+        if trace is None:
+            raise SimulationError(
+                f"shared trace segment {ref.shm_name!r} vanished "
+                f"before shard {index} attached"
+            )
+        shard = trace.shard_slice(cache.geometry, n_shards, index)
     return drive_shard(
         cache, shard, local_warm, segments, epoch, workload, ipa,
         engine=engine,
@@ -439,16 +455,55 @@ def run_sharded(
             for i in range(n_shards)
         ]
     else:
-        payloads = [
-            (config, design, seed, shard, local_warm, segments, epoch,
-             trace.name, trace.instructions_per_access, engine_name)
-            for shard, (local_warm, segments) in zip(shard_slices, plans)
-        ]
-        workers = min(n_shards, os.cpu_count() or 1)
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=mark_worker_process
-        ) as pool:
-            outcomes = list(pool.map(_run_shard_payload, payloads))
+        shm = ref = None
+        if len(trace) > 0:
+            token = trace.cache_token
+            if token is None:
+                # No content address from the trace cache: derive one so
+                # worker-side attach memos and plan memos still key
+                # correctly. One pass over the columns, paid once per
+                # sharded run.
+                token = hashlib.sha256(
+                    trace.numpy_addrs().tobytes()
+                    + trace.numpy_writes().tobytes()
+                ).hexdigest()
+            try:
+                from repro.exec.batching import publish_trace
+
+                shm, ref = publish_trace(trace, token)
+            except OSError:
+                shm = ref = None  # no shared memory: ship columns
+        try:
+            if ref is not None:
+                # Zero-copy: every worker attaches to one segment and
+                # carves its own shard; nothing per-record crosses the
+                # pickle boundary.
+                payloads = [
+                    (config, design, seed, (ref, n_shards, index),
+                     local_warm, segments, epoch, trace.name,
+                     trace.instructions_per_access, engine_name)
+                    for index, (local_warm, segments) in enumerate(plans)
+                ]
+            else:
+                payloads = [
+                    (config, design, seed, shard, local_warm, segments,
+                     epoch, trace.name, trace.instructions_per_access,
+                     engine_name)
+                    for shard, (local_warm, segments)
+                    in zip(shard_slices, plans)
+                ]
+            workers = min(n_shards, os.cpu_count() or 1)
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=mark_worker_process
+            ) as pool:
+                outcomes = list(pool.map(_run_shard_payload, payloads))
+        finally:
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
     return merge_outcomes(design, config, outcomes, epoch=epoch)
 
 

@@ -26,7 +26,7 @@ scalar) per access.
 from __future__ import annotations
 
 import zipfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -98,7 +98,6 @@ class TraceShard:
         return int(np.searchsorted(self.positions, warm, side="left"))
 
 
-@dataclass
 class Trace:
     """An in-memory request stream.
 
@@ -107,46 +106,124 @@ class Trace:
     *miss-path* access. Writebacks ride along with the read stream and
     carry no instruction weight of their own.
 
-    ``addrs``/``writes`` must not be mutated after construction: the
-    write count, the numpy column views, and the per-geometry split
-    columns and shard partitions are cached.
+    ``addrs``/``writes`` may be supplied either as Python sequences
+    (a list of ints / a bytearray) or as 1-D numpy columns (int64 /
+    uint8) — e.g. memory-mapped arrays from the trace cache or views of
+    a shared-memory segment. Whichever form is supplied, the other is
+    materialized lazily on first access: array engines that only touch
+    :meth:`numpy_addrs`/:meth:`numpy_writes` never pay the per-element
+    ``.tolist()`` round trip, and the scalar engines still see plain
+    Python ints (numpy scalars would silently change their wrapping
+    arithmetic).
+
+    Columns must not be mutated after construction: the write count,
+    the numpy column views, and the per-geometry split columns and
+    shard partitions are cached.
+
+    ``cache_token`` optionally carries a content identity (the
+    :class:`~repro.workloads.trace_cache.TraceKey` digest) so plan
+    memos can recognize the same trace across distinct loads.
     """
 
-    name: str
-    addrs: List[int]
-    writes: Sequence[int]  # truthy = writeback; bytearray in practice
-    instructions_per_access: float
-    # Lazily computed caches; excluded from equality and repr.
-    _write_count: Optional[int] = field(
-        default=None, init=False, repr=False, compare=False
-    )
-    _split_cache: Dict[Tuple[int, int], SplitColumns] = field(
-        default_factory=dict, init=False, repr=False, compare=False
-    )
-    _np_addrs: Optional[np.ndarray] = field(
-        default=None, init=False, repr=False, compare=False
-    )
-    _np_writes: Optional[np.ndarray] = field(
-        default=None, init=False, repr=False, compare=False
-    )
-    _read_prefix_cache: Optional[np.ndarray] = field(
-        default=None, init=False, repr=False, compare=False
-    )
-    _shard_cache: Dict[Tuple[int, int, int], Tuple["TraceShard", ...]] = field(
-        default_factory=dict, init=False, repr=False, compare=False
+    __slots__ = (
+        "name", "instructions_per_access", "cache_token",
+        "_addrs_list", "_writes_list", "_write_count", "_split_cache",
+        "_np_addrs", "_np_writes", "_read_prefix_cache", "_shard_cache",
+        "__weakref__",
     )
 
-    def __post_init__(self):
-        if len(self.addrs) != len(self.writes):
-            raise TraceError(
-                f"trace {self.name!r}: {len(self.addrs)} addresses but "
-                f"{len(self.writes)} write flags"
+    def __init__(
+        self,
+        name: str,
+        addrs,
+        writes,
+        instructions_per_access: float,
+        *,
+        cache_token: Optional[str] = None,
+    ):
+        self.name = name
+        self.instructions_per_access = instructions_per_access
+        self.cache_token = cache_token
+        if isinstance(addrs, np.ndarray):
+            if addrs.ndim != 1:
+                raise TraceError(f"trace {name!r}: address column must be 1-D")
+            self._np_addrs = (
+                addrs if addrs.dtype == np.int64 else addrs.astype(np.int64)
             )
-        if self.instructions_per_access <= 0:
+            self._addrs_list: Optional[List[int]] = None
+            n_addrs = int(addrs.shape[0])
+        else:
+            self._np_addrs = None
+            self._addrs_list = addrs
+            n_addrs = len(addrs)
+        if isinstance(writes, np.ndarray):
+            if writes.ndim != 1:
+                raise TraceError(f"trace {name!r}: write column must be 1-D")
+            self._np_writes = (
+                writes if writes.dtype == np.uint8 else writes.astype(np.uint8)
+            )
+            self._writes_list: Optional[Sequence[int]] = None
+            n_writes = int(writes.shape[0])
+        else:
+            self._np_writes = None
+            self._writes_list = writes
+            n_writes = len(writes)
+        if n_addrs != n_writes:
+            raise TraceError(
+                f"trace {name!r}: {n_addrs} addresses but "
+                f"{n_writes} write flags"
+            )
+        if instructions_per_access <= 0:
             raise TraceError("instructions_per_access must be positive")
+        self._write_count: Optional[int] = None
+        self._split_cache: Dict[Tuple[int, int], SplitColumns] = {}
+        self._read_prefix_cache: Optional[np.ndarray] = None
+        self._shard_cache: Dict[
+            Tuple[int, int, int], Tuple["TraceShard", ...]
+        ] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace(name={self.name!r}, len={len(self)}, "
+            f"instructions_per_access={self.instructions_per_access!r})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.instructions_per_access == other.instructions_per_access
+            and np.array_equal(self.numpy_addrs(), other.numpy_addrs())
+            and np.array_equal(self.numpy_writes(), other.numpy_writes())
+        )
+
+    # Mutable container semantics (matching the former dataclass form).
+    __hash__ = None  # type: ignore[assignment]
+
+    @property
+    def addrs(self) -> List[int]:
+        """Addresses as Python ints (materialized lazily when array-backed)."""
+        addrs = self._addrs_list
+        if addrs is None:
+            addrs = self._np_addrs.tolist()
+            self._addrs_list = addrs
+        return addrs
+
+    @property
+    def writes(self) -> Sequence[int]:
+        """Write flags as a byte sequence (materialized lazily)."""
+        writes = self._writes_list
+        if writes is None:
+            writes = bytearray(self._np_writes.tobytes())
+            self._writes_list = writes
+        return writes
 
     def __len__(self) -> int:
-        return len(self.addrs)
+        addrs = self._addrs_list
+        if addrs is not None:
+            return len(addrs)
+        return int(self._np_addrs.shape[0])
 
     def __iter__(self) -> Iterator[TraceRecord]:
         for addr, w in zip(self.addrs, self.writes):
@@ -161,10 +238,13 @@ class Trace:
         """Number of writeback records (cached; O(1) after first use)."""
         count = self._write_count
         if count is None:
-            if isinstance(self.writes, (bytes, bytearray)):
-                count = self.writes.count(1)
+            flags = self._writes_list
+            if isinstance(flags, (bytes, bytearray)):
+                count = flags.count(1)
+            elif flags is None:
+                count = int(np.count_nonzero(self._np_writes))
             else:
-                count = sum(1 for w in self.writes if w)
+                count = sum(1 for w in flags if w)
             self._write_count = count
         return count
 
@@ -174,11 +254,19 @@ class Trace:
         return self.read_count * self.instructions_per_access
 
     def slice(self, start: int, stop: int) -> "Trace":
-        """A sub-trace covering [start, stop)."""
+        """A sub-trace covering [start, stop) (array-backed parents stay
+        array-backed; no list materialization)."""
+        if self._addrs_list is None or self._writes_list is None:
+            return Trace(
+                name=f"{self.name}[{start}:{stop}]",
+                addrs=np.ascontiguousarray(self.numpy_addrs()[start:stop]),
+                writes=np.ascontiguousarray(self.numpy_writes()[start:stop]),
+                instructions_per_access=self.instructions_per_access,
+            )
         return Trace(
             name=f"{self.name}[{start}:{stop}]",
-            addrs=self.addrs[start:stop],
-            writes=self.writes[start:stop],
+            addrs=self._addrs_list[start:stop],
+            writes=self._writes_list[start:stop],
             instructions_per_access=self.instructions_per_access,
         )
 
@@ -219,7 +307,7 @@ class Trace:
         """
         addrs = self._np_addrs
         if addrs is None:
-            addrs = np.asarray(self.addrs, dtype=np.int64)
+            addrs = np.asarray(self._addrs_list, dtype=np.int64)
             self._np_addrs = addrs
         return addrs
 
@@ -227,11 +315,12 @@ class Trace:
         """The write-flag column as uint8, converted once and cached."""
         writes = self._np_writes
         if writes is None:
-            if isinstance(self.writes, (bytes, bytearray)):
-                writes = np.frombuffer(bytes(self.writes), dtype=np.uint8)
+            flags = self._writes_list
+            if isinstance(flags, (bytes, bytearray)):
+                writes = np.frombuffer(bytes(flags), dtype=np.uint8)
             else:
                 writes = np.asarray(
-                    [1 if w else 0 for w in self.writes], dtype=np.uint8
+                    [1 if w else 0 for w in flags], dtype=np.uint8
                 )
             self._np_writes = writes
         return writes
@@ -392,17 +481,23 @@ def save_trace_npz(trace: Trace, path: str) -> None:
     The archive holds ``addrs`` (int64), ``writes`` (uint8), plus the
     scalar ``name``/``ipa``/``version`` metadata. Addresses above
     2^63 - 1 are rejected (no real address space produces them).
+
+    Members are stored *uncompressed* (``np.savez``): ``np.load`` does
+    not memory-map npz members even with ``mmap_mode``, so the trace
+    cache maps the ZIP_STORED column bytes directly
+    (:func:`load_trace_npz` with ``mmap=True``) — only possible when
+    the member data sits verbatim in the archive. Compressed legacy
+    entries remain readable (the mmap path falls back to a normal
+    load).
     """
     try:
-        addrs = np.asarray(trace.addrs, dtype=np.int64)
+        addrs = trace.numpy_addrs()
+        if addrs.dtype != np.int64:
+            addrs = addrs.astype(np.int64)
     except (OverflowError, ValueError) as exc:
         raise TraceError(f"trace {trace.name!r} not npz-serializable: {exc}") from exc
-    if isinstance(trace.writes, (bytes, bytearray)):
-        flags = bytes(trace.writes)
-    else:
-        flags = bytes(1 if w else 0 for w in trace.writes)
-    writes = np.frombuffer(flags, dtype=np.uint8)
-    np.savez_compressed(
+    writes = trace.numpy_writes()
+    np.savez(
         path,
         version=np.int64(NPZ_TRACE_VERSION),
         name=np.array(trace.name),
@@ -412,8 +507,56 @@ def save_trace_npz(trace: Trace, path: str) -> None:
     )
 
 
-def load_trace_npz(path: str) -> Trace:
+def _npz_member_memmap(path: str, member: str) -> Optional[np.ndarray]:
+    """Memory-map one uncompressed member of an npz archive, or None.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores the request for
+    npz archives and returns in-memory copies, so this maps the member
+    by hand: locate the member's local file header via the zip central
+    directory, skip the header to the raw ``.npy`` bytes, parse the npy
+    header for dtype/shape, and ``np.memmap`` the data region.
+    Returns None for compressed (legacy ``savez_compressed``) members,
+    which callers load normally instead.
+    """
+    with zipfile.ZipFile(path) as archive:
+        info = archive.getinfo(member)
+        if info.compress_type != zipfile.ZIP_STORED:
+            return None
+        header_offset = info.header_offset
+    with open(path, "rb") as handle:
+        handle.seek(header_offset)
+        local = handle.read(30)
+        if len(local) < 30 or local[:4] != b"PK\x03\x04":
+            raise TraceError(f"{path}: bad local header for {member!r}")
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        handle.seek(header_offset + 30 + name_len + extra_len)
+        magic = np.lib.format.read_magic(handle)
+        if magic == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif magic == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise TraceError(
+                f"{path}: unsupported npy format {magic} for {member!r}"
+            )
+        data_offset = handle.tell()
+    if len(shape) == 1 and shape[0] == 0:
+        return np.empty(shape, dtype=dtype)  # mmap cannot map zero bytes
+    return np.memmap(
+        path, dtype=dtype, mode="r", shape=shape,
+        order="F" if fortran else "C", offset=data_offset,
+    )
+
+
+def load_trace_npz(path: str, *, mmap: bool = False) -> Trace:
     """Read a trace produced by :func:`save_trace_npz`.
+
+    Returns an array-backed :class:`Trace`: the scalar list forms are
+    materialized lazily only if a scalar engine asks for them. With
+    ``mmap=True`` the two column arrays are memory-mapped straight out
+    of the archive (zero-copy across processes via the page cache);
+    compressed legacy archives fall back to a normal in-memory load.
 
     A missing file raises ``FileNotFoundError`` (callers distinguish a
     cold cache from corruption); any malformed archive raises
@@ -428,13 +571,16 @@ def load_trace_npz(path: str) -> Trace:
                 )
             name = str(data["name"][()])
             ipa = float(data["ipa"])
-            addrs = data["addrs"]
-            writes = data["writes"]
+            addrs = writes = None
+            if mmap:
+                addrs = _npz_member_memmap(path, "addrs.npy")
+                writes = _npz_member_memmap(path, "writes.npy")
+            if addrs is None or writes is None:
+                addrs = data["addrs"]
+                writes = data["writes"]
             if addrs.ndim != 1 or writes.ndim != 1:
                 raise TraceError(f"{path}: npz trace columns must be 1-D")
-            trace = Trace(
-                name, addrs.tolist(), bytearray(writes.tobytes()), ipa
-            )
+            trace = Trace(name, addrs, writes, ipa)
     except FileNotFoundError:
         raise
     except TraceError:

@@ -130,10 +130,23 @@ class TraceKey:
 
 @dataclass
 class TraceCacheStats:
-    """Degradation counters for one cache instance."""
+    """Hit/miss and degradation counters for one cache instance."""
 
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
     degraded_writes: int = 0
     quarantined: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-ready form (``profile`` output and ``/metrics``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_read": self.bytes_read,
+            "degraded_writes": self.degraded_writes,
+            "quarantined": self.quarantined,
+        }
 
 
 class TraceCache:
@@ -152,28 +165,44 @@ class TraceCache:
         return path.with_suffix(".key.json")
 
     def get(self, key: TraceKey) -> Optional[Trace]:
-        """Stored trace for ``key``, or None (quarantining bad entries)."""
+        """Stored trace for ``key``, or None (quarantining bad entries).
+
+        Warm hits are loaded with memory-mapped column arrays (the list
+        forms materialize lazily only for scalar engines) and tagged
+        with ``cache_token = key.digest()`` so engine plan memos can
+        recognize the same trace across loads and processes.
+        """
         path = self.path_for(key)
         key_path = self._key_path(path)
         try:
             with open(key_path, "r", encoding="utf-8") as handle:
                 record = json.load(handle)
         except (FileNotFoundError, NotADirectoryError):
+            self.stats.misses += 1
             return None  # cold cache (or unusable root): a plain miss
         except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
             self._quarantine(path, f"unreadable key sidecar: {exc}")
+            self.stats.misses += 1
             return None
         if not isinstance(record, dict) or record.get("key") != key.canonical():
             self._quarantine(path, "key sidecar does not match lookup key")
+            self.stats.misses += 1
             return None
         try:
-            return load_trace_npz(str(path))
+            size = path.stat().st_size
+            trace = load_trace_npz(str(path), mmap=True)
         except FileNotFoundError:
             self._quarantine(path, "key sidecar without npz payload")
+            self.stats.misses += 1
             return None
-        except TraceError as exc:
+        except (OSError, TraceError) as exc:
             self._quarantine(path, f"corrupt npz payload: {exc}")
+            self.stats.misses += 1
             return None
+        trace.cache_token = key.digest()
+        self.stats.hits += 1
+        self.stats.bytes_read += size
+        return trace
 
     def put(self, key: TraceKey, trace: Trace) -> None:
         """Persist a trace; a failed write is counted, never fatal."""

@@ -1,0 +1,279 @@
+"""Batched sweep execution: packing, sharing, and per-job guarantees.
+
+The batching layer packs same-trace jobs into shared-trace worker
+tasks (fused multi-config kernel where signatures allow) while keeping
+every caller-visible artifact — results, store entries, journal lines,
+progress — at per-:class:`JobKey` granularity. These tests pin both
+halves: bit-identical results across the batched and per-job paths
+over the full heterogeneous :data:`BENCH_DESIGNS` grid, and the
+resource story (one step-plan build and one shared-memory segment per
+trace, released on shutdown, surviving pool rebuilds).
+"""
+
+import pytest
+
+from repro.core.accord import AccordDesign
+from repro.exec import BackoffPolicy, Executor, JobKey, SweepJournal
+from repro.exec.batching import (
+    BatchTask,
+    batch_group,
+    plan_batches,
+    trace_key_for,
+)
+from repro.exec.faults import FAULT_PLAN_ENV
+from repro.sim.bench import BENCH_DESIGNS
+
+ACCESSES = 3000
+
+SWEEP = tuple(
+    AccordDesign(kind="pws", ways=2, pip=0.2 + 0.05 * i) for i in range(12)
+)
+
+
+def sweep_keys(num=12, workload="soplex", **kwargs):
+    return [
+        JobKey(
+            design=design, workload=workload, num_accesses=ACCESSES,
+            warmup=0.3, seed=7, **kwargs,
+        )
+        for design in SWEEP[:num]
+    ]
+
+
+def bench_keys(workload="soplex"):
+    return [
+        JobKey(
+            design=design, workload=workload, num_accesses=ACCESSES,
+            warmup=0.3, seed=7,
+        )
+        for design in BENCH_DESIGNS
+    ]
+
+
+def fast_backoff():
+    return BackoffPolicy(base=0.01, max_delay=0.05)
+
+
+class TestBatchPlanner:
+    def test_same_trace_same_geometry_packs(self):
+        items = plan_batches(sweep_keys(12))
+        assert len(items) == 1
+        (task,) = items
+        assert isinstance(task, BatchTask)
+        assert len(task.jobs) == 12
+
+    def test_chunking_respects_batch_size(self):
+        items = plan_batches(sweep_keys(12), batch_size=8)
+        sizes = sorted(len(t.jobs) for t in items)
+        assert sizes == [4, 8]
+
+    def test_singletons_stay_plain_keys(self):
+        keys = sweep_keys(2) + [
+            JobKey(
+                design=SWEEP[0], workload="mcf", num_accesses=ACCESSES,
+                warmup=0.3, seed=7,
+            )
+        ]
+        items = plan_batches(keys)
+        batches = [t for t in items if isinstance(t, BatchTask)]
+        plain = [t for t in items if not isinstance(t, BatchTask)]
+        assert len(batches) == 1 and len(batches[0].jobs) == 2
+        assert len(plain) == 1 and plain[0].workload == "mcf"
+
+    def test_group_splits_on_trace_and_geometry(self):
+        base = dict(num_accesses=ACCESSES, warmup=0.3, seed=7)
+        same = JobKey(design=SWEEP[0], workload="soplex", **base)
+        twin = JobKey(design=SWEEP[1], workload="soplex", **base)
+        other_trace = JobKey(design=SWEEP[0], workload="mcf", **base)
+        other_ways = JobKey(
+            design=AccordDesign(kind="unbiased", ways=4),
+            workload="soplex", **base,
+        )
+        other_epoch = JobKey(
+            design=SWEEP[0], workload="soplex", epoch=500, **base
+        )
+        assert batch_group(same) == batch_group(twin)
+        assert batch_group(same) != batch_group(other_trace)
+        assert batch_group(same) != batch_group(other_ways)
+        assert batch_group(same) != batch_group(other_epoch)
+
+
+class TestBatchedEquivalence:
+    """The acceptance property: batch=True changes wall-clock only."""
+
+    @pytest.fixture(scope="class")
+    def per_job(self):
+        results = Executor(jobs=1, batch=False).run(bench_keys())
+        return {k: r.to_dict() for k, r in results.items()}
+
+    def test_all_bench_designs_bit_identical_serial(self, per_job):
+        ex = Executor(jobs=1, batch=True)
+        resolved = ex.run(bench_keys())
+        assert {k: r.to_dict() for k, r in resolved.items()} == per_job
+        assert ex.stats.batches >= 1
+
+    def test_all_bench_designs_bit_identical_parallel(self, per_job):
+        ex = Executor(jobs=2, batch=True, backoff=fast_backoff())
+        resolved = ex.run(bench_keys())
+        assert {k: r.to_dict() for k, r in resolved.items()} == per_job
+        assert ex.stats.batches >= 1
+
+    def test_phase_metrics_bit_identical(self):
+        keys = sweep_keys(6, epoch=500)
+        batched = Executor(jobs=1, batch=True).run(keys)
+        solo = Executor(jobs=1, batch=False).run(keys)
+        for key in keys:
+            assert batched[key].to_dict() == solo[key].to_dict()
+            assert (
+                batched[key].phases.to_dict() == solo[key].phases.to_dict()
+            )
+
+    def test_store_entries_byte_identical(self, tmp_path, per_job):
+        from repro.exec import ResultStore
+
+        batched_store = ResultStore(tmp_path / "batched")
+        solo_store = ResultStore(tmp_path / "solo")
+        keys = bench_keys()
+        Executor(jobs=1, batch=True, store=batched_store).run(keys)
+        Executor(jobs=1, batch=False, store=solo_store).run(keys)
+        for key in keys:
+            a = batched_store.path_for(key)
+            b = solo_store.path_for(key)
+            assert a.read_bytes() == b.read_bytes()
+
+
+class TestPlanMemoReuse:
+    def test_one_plan_build_per_trace(self):
+        from repro.sim.engines import vector
+
+        keys = sweep_keys(12, workload="sphinx")
+        Executor(jobs=1, batch=True).run(keys)  # warm the trace memo
+        before = vector.plan_build_count()
+        Executor(jobs=1, batch=True).run(keys)
+        assert vector.plan_build_count() == before  # memo hit, zero builds
+
+    def test_fused_pass_covers_the_batch(self):
+        from repro.sim.engines import multi
+
+        keys = sweep_keys(12)
+        passes, configs = multi.fused_pass_count()
+        Executor(jobs=1, batch=True).run(keys)
+        after_passes, after_configs = multi.fused_pass_count()
+        assert after_passes == passes + 1
+        assert after_configs == configs + 12
+
+
+class TestSharedMemorySegments:
+    def _segment_gone(self, name):
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=name, create=False)
+        except FileNotFoundError:
+            return True
+        shm.close()
+        return False
+
+    def test_one_segment_per_trace_released_after_run(self):
+        from repro.exec.batching import _segment_name
+
+        keys = sweep_keys(12)
+        token = trace_key_for(keys[0]).digest()
+        ex = Executor(jobs=2, batch=True, backoff=fast_backoff())
+        ex.run(keys)
+        # transient executor: the run tears down pool and segments
+        assert ex._segments == {}
+        assert self._segment_gone(_segment_name(token))
+
+    def test_persistent_executor_releases_on_shutdown(self):
+        from repro.exec.batching import _segment_name
+
+        keys = sweep_keys(12)
+        token = trace_key_for(keys[0]).digest()
+        with Executor(jobs=2, batch=True, backoff=fast_backoff()) as ex:
+            ex.run(keys)
+            assert list(ex._segments) == [token]
+        assert ex._segments == {}
+        assert self._segment_gone(_segment_name(token))
+
+    def test_no_leak_across_pool_rebuild(self, tmp_path, monkeypatch):
+        from repro.exec.batching import _segment_name
+
+        monkeypatch.setenv(
+            FAULT_PLAN_ENV, f"crash=1;dir={tmp_path / 'ledger'}"
+        )
+        keys = sweep_keys(12)
+        token = trace_key_for(keys[0]).digest()
+        ex = Executor(jobs=2, batch=True, retries=3, backoff=fast_backoff())
+        resolved = ex.run(keys)
+        assert ex.stats.pool_breaks >= 1  # the crash really happened
+        assert len(resolved) == len(keys)
+        assert ex._segments == {}
+        assert self._segment_gone(_segment_name(token))
+
+
+class TestProgressGranularity:
+    def test_progress_counts_jobkeys_not_tasks(self):
+        events = []
+        keys = sweep_keys(12)
+        ex = Executor(
+            jobs=1, batch=True,
+            progress=lambda done, total, key, source: events.append(
+                (done, total, key, source)
+            ),
+        )
+        ex.run(keys)
+        assert len(events) == len(keys)
+        assert [e[0] for e in events] == list(range(1, len(keys) + 1))
+        assert all(e[1] == len(keys) for e in events)
+        assert {e[2] for e in events} == set(keys)
+        assert all(e[3] == "run" for e in events)
+
+
+class TestResumeMidBatch:
+    def test_crash_mid_batch_keeps_per_job_journal(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            FAULT_PLAN_ENV, f"crash=1;dir={tmp_path / 'ledger'}"
+        )
+        keys = sweep_keys(12)
+        path = tmp_path / "sweep.journal.jsonl"
+        journal = SweepJournal(path)
+        journal.begin(keys)
+        ex = Executor(
+            jobs=2, batch=True, retries=3, journal=journal,
+            backoff=fast_backoff(),
+        )
+        resolved = ex.run(keys)
+        assert ex.stats.pool_breaks >= 1
+
+        # The journal recorded every job individually; a resume replays
+        # all of them and executes nothing.
+        reloaded = SweepJournal(path)
+        assert reloaded.load() == len(keys)
+        resume = Executor(jobs=1, batch=True, journal=reloaded)
+        replayed = resume.run(keys)
+        assert resume.stats.resumed == len(keys)
+        assert resume.stats.executed == 0
+        assert {k: r.to_dict() for k, r in replayed.items()} == {
+            k: r.to_dict() for k, r in resolved.items()
+        }
+
+    def test_interrupted_batched_sweep_resumes_the_rest(self, tmp_path):
+        keys = sweep_keys(12)
+        path = tmp_path / "sweep.journal.jsonl"
+        first = SweepJournal(path)
+        first.begin(keys)
+        Executor(jobs=1, batch=True, journal=first).run(keys[:5])
+
+        second = SweepJournal(path)
+        assert second.load() == 5
+        ex = Executor(jobs=1, batch=True, journal=second)
+        resolved = ex.run(keys)
+        assert ex.stats.resumed == 5
+        assert ex.stats.executed == len(keys) - 5
+        solo = Executor(jobs=1, batch=False).run(keys)
+        assert {k: r.to_dict() for k, r in resolved.items()} == {
+            k: r.to_dict() for k, r in solo.items()
+        }

@@ -231,6 +231,58 @@ class TestSerialShardedEquivalence:
         )
         assert sharded.to_dict() == serial.to_dict()
 
+    def test_pool_path_publishes_one_segment_and_unlinks(
+        self, trace, monkeypatch
+    ):
+        """Workers attach to one shared segment; the parent unlinks it."""
+        from multiprocessing import shared_memory
+
+        import repro.exec.batching as batching
+
+        published = []
+        real = batching.publish_trace
+
+        def spy(t, token):
+            shm, ref = real(t, token)
+            published.append(ref)
+            return shm, ref
+
+        monkeypatch.setattr(batching, "publish_trace", spy)
+        design = AccordDesign(kind="pws", ways=2)
+        config = scaled_system(ways=design.ways, scale=SCALE)
+        serial = Simulator(config, design, seed=5).run(
+            trace, warmup_fraction=0.3
+        )
+        sharded = run_sharded(
+            config, design, trace, warmup=0.3, shards=2, seed=5,
+        )
+        assert sharded.to_dict() == serial.to_dict()
+        assert len(published) == 1
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(
+                name=published[0].shm_name, create=False
+            )
+
+    def test_pool_path_degrades_without_shared_memory(
+        self, trace, monkeypatch
+    ):
+        """No /dev/shm: fall back to pickling materialized shards."""
+        import repro.exec.batching as batching
+
+        def refuse(t, token):
+            raise OSError("shared memory unavailable")
+
+        monkeypatch.setattr(batching, "publish_trace", refuse)
+        design = AccordDesign(kind="pws", ways=2)
+        config = scaled_system(ways=design.ways, scale=SCALE)
+        serial = Simulator(config, design, seed=5).run(
+            trace, warmup_fraction=0.3
+        )
+        sharded = run_sharded(
+            config, design, trace, warmup=0.3, shards=2, seed=5,
+        )
+        assert sharded.to_dict() == serial.to_dict()
+
     def test_shard_count_exceeding_sets_is_clamped(self, trace):
         design = AccordDesign(kind="direct", ways=1)
         config = scaled_system(ways=design.ways, scale=SCALE)
